@@ -1,0 +1,25 @@
+//! Ablation: the cost of the taint-aware CFI alone (OurCFI vs OurBare), the
+//! delta the paper reports as ~3.6% on average for SPEC.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use confllvm_core::Config;
+use confllvm_workloads::spec;
+
+fn bench_cfi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cfi");
+    group.sample_size(10);
+    for kernel in spec::KERNELS.iter().take(3) {
+        let mut k = *kernel;
+        k.size = 3;
+        for config in [Config::OurBare, Config::OurCFI] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name, config.name()),
+                &config,
+                |b, cfg| b.iter(|| spec::run(&k, *cfg).cycles()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cfi);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 5: SPEC CPU stand-in kernels under the evaluation configurations.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use confllvm_core::Config;
+use confllvm_workloads::spec;
+
+fn bench_spec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_spec");
+    group.sample_size(10);
+    for kernel in spec::KERNELS.iter().take(3) {
+        let mut k = *kernel;
+        k.size = 3;
+        for config in [Config::Base, Config::OurCFI, Config::OurMpx, Config::OurSeg] {
+            group.bench_with_input(
+                BenchmarkId::new(kernel.name, config.name()),
+                &config,
+                |b, cfg| b.iter(|| spec::run(&k, *cfg).cycles()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spec);
+criterion_main!(benches);

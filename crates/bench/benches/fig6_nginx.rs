@@ -1,0 +1,22 @@
+//! Figure 6: NGINX stand-in throughput across response sizes.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use confllvm_core::Config;
+use confllvm_workloads::nginx;
+
+fn bench_nginx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_nginx");
+    group.sample_size(10);
+    for size in [1024usize, 10 * 1024] {
+        for config in Config::FIG6 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}KB", size / 1024), config.name()),
+                &config,
+                |b, cfg| b.iter(|| nginx::run(*cfg, 1, size).cycles()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nginx);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure 7: Privado stand-in classification latency inside the "enclave".
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use confllvm_core::Config;
+use confllvm_workloads::privado;
+
+fn bench_privado(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_privado");
+    group.sample_size(10);
+    for config in Config::FIG7 {
+        group.bench_with_input(BenchmarkId::new("classify", config.name()), &config, |b, cfg| {
+            b.iter(|| privado::run(*cfg, 1).cycles())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_privado);
+criterion_main!(benches);

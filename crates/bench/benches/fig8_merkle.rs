@@ -1,0 +1,22 @@
+//! Figure 8: Merkle-tree FS stand-in, scaling with reader threads.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use confllvm_core::Config;
+use confllvm_workloads::merkle;
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_merkle");
+    group.sample_size(10);
+    for threads in [1usize, 4, 6] {
+        for config in Config::FIG8 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{threads}threads"), config.name()),
+                &config,
+                |b, cfg| b.iter(|| merkle::run(*cfg, threads, 2, 512).1),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_merkle);
+criterion_main!(benches);

@@ -1,0 +1,266 @@
+//! # confllvm-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (Section 7) on top of the simulator.  The `repro`
+//! binary prints the tables; the Criterion benches under `benches/` time the
+//! same workloads so `cargo bench` exercises the identical code paths.
+//!
+//! Absolute numbers are simulated cycles, not seconds; what is compared with
+//! the paper is the *shape*: which configuration wins, by roughly what
+//! factor, and how the gap moves with the workload parameter (see
+//! EXPERIMENTS.md).
+
+use confllvm_core::Config;
+use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
+
+/// One row of a figure: a labelled series of (configuration, value) pairs.
+#[derive(Debug, Clone)]
+pub struct Row {
+    pub label: String,
+    pub values: Vec<(Config, f64)>,
+}
+
+/// A reproduced figure/table.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    pub id: &'static str,
+    pub title: &'static str,
+    pub metric: &'static str,
+    pub rows: Vec<Row>,
+}
+
+impl Figure {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ({})\n", self.id, self.title, self.metric));
+        if let Some(first) = self.rows.first() {
+            out.push_str(&format!("{:<18}", ""));
+            for (c, _) in &first.values {
+                out.push_str(&format!("{:>12}", c.name()));
+            }
+            out.push('\n');
+        }
+        for row in &self.rows {
+            out.push_str(&format!("{:<18}", row.label));
+            for (_, v) in &row.values {
+                out.push_str(&format!("{:>12.2}", v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Figure 5: SPEC CPU overhead (execution time as % of Base).
+pub fn fig5_spec(scale: i64) -> Figure {
+    let mut rows = Vec::new();
+    let mut averages: Vec<(Config, Vec<f64>)> =
+        Config::FIG5.iter().map(|c| (*c, Vec::new())).collect();
+    for kernel in spec::KERNELS {
+        let mut k = *kernel;
+        k.size = (k.size / scale.max(1)).max(2);
+        let base = spec::run(&k, Config::Base).cycles();
+        let mut values = Vec::new();
+        for (i, config) in Config::FIG5.iter().enumerate() {
+            let cycles = if *config == Config::Base {
+                base
+            } else {
+                spec::run(&k, *config).cycles()
+            };
+            let pct = 100.0 + overhead_pct(base, cycles);
+            values.push((*config, pct));
+            averages[i].1.push(pct);
+        }
+        rows.push(Row {
+            label: kernel.name.to_string(),
+            values,
+        });
+    }
+    rows.push(Row {
+        label: "average".to_string(),
+        values: averages
+            .iter()
+            .map(|(c, v)| (*c, v.iter().sum::<f64>() / v.len().max(1) as f64))
+            .collect(),
+    });
+    Figure {
+        id: "Figure 5",
+        title: "SPEC CPU stand-ins, execution time relative to Base",
+        metric: "% of Base cycles",
+        rows,
+    }
+}
+
+/// Figure 6: NGINX max sustained throughput as % of Base, by response size.
+pub fn fig6_nginx(requests: usize, sizes: &[usize]) -> Figure {
+    let mut rows = Vec::new();
+    for &size in sizes {
+        let base = nginx::run(Config::Base, requests, size);
+        let base_tp = nginx::throughput(&base, requests);
+        let mut values = vec![(Config::Base, 100.0)];
+        for config in Config::FIG6.iter().skip(1) {
+            let r = nginx::run(*config, requests, size);
+            let tp = nginx::throughput(&r, requests);
+            values.push((*config, tp / base_tp * 100.0));
+        }
+        rows.push(Row {
+            label: format!("{} KB", size / 1024),
+            values,
+        });
+    }
+    Figure {
+        id: "Figure 6",
+        title: "NGINX stand-in, sustained throughput relative to Base",
+        metric: "% of Base throughput",
+        rows,
+    }
+}
+
+/// Section 7.3: OpenLDAP throughput degradation for miss and hit workloads.
+pub fn ldap_table(entries: usize, queries: usize) -> Figure {
+    let mut rows = Vec::new();
+    for (label, hit) in [("absent entries", false), ("present entries", true)] {
+        let base = ldap::run(Config::Base, entries, queries, hit);
+        let ours = ldap::run(Config::OurMpx, entries, queries, hit);
+        let base_tp = ldap::throughput(&base, queries);
+        let our_tp = ldap::throughput(&ours, queries);
+        rows.push(Row {
+            label: label.to_string(),
+            values: vec![
+                (Config::Base, 100.0),
+                (Config::OurMpx, our_tp / base_tp * 100.0),
+            ],
+        });
+    }
+    Figure {
+        id: "Section 7.3",
+        title: "OpenLDAP stand-in, query throughput relative to Base",
+        metric: "% of Base throughput",
+        rows,
+    }
+}
+
+/// Figure 7: Privado classification latency as % of Base.
+pub fn fig7_privado(images: usize) -> Figure {
+    let base = privado::run(Config::Base, images);
+    let base_lat = privado::latency_per_image(&base, images);
+    let mut values = Vec::new();
+    for config in Config::FIG7 {
+        let lat = if config == Config::Base {
+            base_lat
+        } else {
+            let r = privado::run(config, images);
+            privado::latency_per_image(&r, images)
+        };
+        values.push((config, lat / base_lat * 100.0));
+    }
+    Figure {
+        id: "Figure 7",
+        title: "Privado stand-in, classification latency relative to Base",
+        metric: "% of Base latency",
+        rows: vec![Row {
+            label: "11-layer NN".to_string(),
+            values,
+        }],
+    }
+}
+
+/// Figure 8: Merkle FS read time as % of Base, per thread count.
+pub fn fig8_merkle(blocks: usize, block_size: usize, max_threads: usize) -> Figure {
+    let mut rows = Vec::new();
+    for threads in 1..=max_threads {
+        let (_b, base_wall) = merkle::run(Config::Base, threads, blocks, block_size);
+        let mut values = vec![(Config::Base, 100.0)];
+        for config in [Config::OurSeg, Config::OurMpx] {
+            let (_r, wall) = merkle::run(config, threads, blocks, block_size);
+            values.push((config, wall as f64 / base_wall as f64 * 100.0));
+        }
+        rows.push(Row {
+            label: format!("{threads} thread(s)"),
+            values,
+        });
+    }
+    Figure {
+        id: "Figure 8",
+        title: "Merkle-tree FS stand-in, total read time relative to Base",
+        metric: "% of Base wall cycles",
+        rows,
+    }
+}
+
+/// Section 7.6: the vulnerability-injection summary.
+pub fn vuln_table() -> String {
+    let mut out = String::new();
+    out.push_str("== Section 7.6 — vulnerability injection\n");
+    for config in [Config::Base, Config::OurMpx, Config::OurSeg] {
+        for (name, o) in vuln::run_all(config) {
+            let status = if o.rejected_at_compile_time {
+                "rejected at compile time".to_string()
+            } else if o.leaked {
+                "LEAKED".to_string()
+            } else {
+                match &o.outcome {
+                    Some(confllvm_vm::Outcome::Fault(f)) => format!("stopped at runtime ({f})"),
+                    _ => "no leak".to_string(),
+                }
+            };
+            out.push_str(&format!("{:<10} {:<24} {}\n", config.name(), name, status));
+        }
+    }
+    out
+}
+
+/// Section 7.2/7.3 porting effort table.
+pub fn porting_table() -> String {
+    let mut out = String::new();
+    out.push_str("== Porting effort (annotations + trusted interface lines)\n");
+    for (name, src) in [
+        ("nginx", nginx::SOURCE.to_string()),
+        ("openldap", ldap::annotated_source()),
+        ("privado", privado::SOURCE.to_string()),
+        ("merkle-fs", merkle::SOURCE.to_string()),
+    ] {
+        let (ann, ext) = confllvm_workloads::porting_effort(&src);
+        let loc = src.lines().filter(|l| !l.trim().is_empty()).count();
+        out.push_str(&format!(
+            "{:<10} {:>5} LoC, {:>3} private annotations, {:>3} trusted-interface functions\n",
+            name, loc, ann, ext
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_has_one_row_per_kernel_plus_average() {
+        let f = fig5_spec(16);
+        assert_eq!(f.rows.len(), spec::KERNELS.len() + 1);
+        let rendered = f.render();
+        assert!(rendered.contains("OurMPX"));
+        assert!(rendered.contains("average"));
+    }
+
+    #[test]
+    fn instrumented_configs_are_slower_on_average() {
+        let f = fig5_spec(16);
+        let avg = f.rows.last().unwrap();
+        let get = |c: Config| {
+            avg.values
+                .iter()
+                .find(|(cc, _)| *cc == c)
+                .map(|(_, v)| *v)
+                .unwrap()
+        };
+        assert!(get(Config::OurMpx) > 100.0);
+        assert!(get(Config::OurSeg) > 100.0);
+        assert!(
+            get(Config::OurSeg) <= get(Config::OurMpx),
+            "segmentation must not be slower than MPX (paper's headline finding)"
+        );
+        assert!(get(Config::OurCFI) <= get(Config::OurMpx));
+    }
+}

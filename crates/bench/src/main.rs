@@ -1,0 +1,52 @@
+//! `repro` — regenerate the tables and figures of the ConfLLVM evaluation.
+//!
+//! Usage:
+//! ```text
+//! repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--quick]
+//! ```
+//! With no flags, everything is reproduced.  `--quick` shrinks the workload
+//! parameters (useful in CI); the numbers remain comparable in shape.
+
+use confllvm_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().all(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    let spec_scale = if quick { 8 } else { 1 };
+    let nginx_requests = if quick { 2 } else { 4 };
+    let nginx_sizes: &[usize] = if quick {
+        &[0, 1024, 10 * 1024]
+    } else {
+        &[0, 1024, 2 * 1024, 5 * 1024, 10 * 1024, 20 * 1024, 40 * 1024]
+    };
+    let ldap_entries = if quick { 64 } else { 512 };
+    let ldap_queries = if quick { 64 } else { 512 };
+    let privado_images = 1;
+    let merkle_blocks = if quick { 2 } else { 8 };
+    let merkle_threads = 6;
+
+    if want("--fig5") {
+        println!("{}", fig5_spec(spec_scale).render());
+    }
+    if want("--fig6") {
+        println!("{}", fig6_nginx(nginx_requests, nginx_sizes).render());
+    }
+    if want("--ldap") {
+        println!("{}", ldap_table(ldap_entries, ldap_queries).render());
+    }
+    if want("--fig7") {
+        println!("{}", fig7_privado(privado_images).render());
+    }
+    if want("--fig8") {
+        println!("{}", fig8_merkle(merkle_blocks, 1024, merkle_threads).render());
+    }
+    if want("--vuln") {
+        println!("{}", vuln_table());
+    }
+    if want("--porting") {
+        println!("{}", porting_table());
+    }
+}

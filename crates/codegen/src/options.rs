@@ -1,0 +1,122 @@
+//! Code-generation options: which scheme, which instrumentation, which
+//! optimisations.  The paper's evaluation configurations (Base, OurBare,
+//! OurCFI, OurMPX, OurSeg, ...) are built on top of these flags by
+//! `confllvm-core`.
+
+use confllvm_machine::Scheme;
+
+/// The MPX-specific optimisations of Section 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpxOptimizations {
+    /// Fold small constant displacements into the memory operand and check
+    /// only the base register, relying on the 1 MiB guard areas around the
+    /// regions.
+    pub fold_displacements: bool,
+    /// Skip a check if the same address value was already checked against the
+    /// same region earlier in the basic block with no intervening call.
+    pub coalesce_checks: bool,
+    /// Do not check rsp-relative (stack) accesses at all: the inlined
+    /// `_chkstk` keeps rsp inside the stack area, so rsp (and rsp+OFFSET) are
+    /// always in bounds.
+    pub skip_stack_checks: bool,
+}
+
+impl Default for MpxOptimizations {
+    fn default() -> Self {
+        MpxOptimizations {
+            fold_displacements: true,
+            coalesce_checks: true,
+            skip_stack_checks: true,
+        }
+    }
+}
+
+impl MpxOptimizations {
+    /// All optimisations disabled — the ablation baseline.
+    pub fn none() -> Self {
+        MpxOptimizations {
+            fold_displacements: false,
+            coalesce_checks: false,
+            skip_stack_checks: false,
+        }
+    }
+}
+
+/// Full code-generation configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodegenOptions {
+    /// Memory-partitioning scheme used for bounds enforcement.
+    pub scheme: Scheme,
+    /// Emit taint-aware CFI (magic sequences + expanded returns and indirect
+    /// calls).
+    pub cfi: bool,
+    /// Keep public and private data on separate, lock-step stacks.
+    pub split_stacks: bool,
+    /// Separate T's memory from U's and switch stacks on every call into T.
+    pub separate_trusted_memory: bool,
+    /// Emit the inlined `_chkstk` stack-bounds enforcement in prologues.
+    pub emit_chkstk: bool,
+    /// MPX check optimisations.
+    pub mpx: MpxOptimizations,
+    /// Deterministic seed for the magic-prefix search (None = from entropy).
+    pub prefix_seed: Option<u64>,
+}
+
+impl Default for CodegenOptions {
+    fn default() -> Self {
+        CodegenOptions {
+            scheme: Scheme::Segment,
+            cfi: true,
+            split_stacks: true,
+            separate_trusted_memory: true,
+            emit_chkstk: true,
+            mpx: MpxOptimizations::default(),
+            prefix_seed: Some(0xC0FF_EE00),
+        }
+    }
+}
+
+impl CodegenOptions {
+    /// A plain, uninstrumented build (the `Base` baseline).
+    pub fn baseline() -> Self {
+        CodegenOptions {
+            scheme: Scheme::None,
+            cfi: false,
+            split_stacks: false,
+            separate_trusted_memory: false,
+            emit_chkstk: false,
+            mpx: MpxOptimizations::none(),
+            prefix_seed: Some(0xC0FF_EE00),
+        }
+    }
+
+    /// Full ConfLLVM with MPX bounds checks.
+    pub fn mpx() -> Self {
+        CodegenOptions {
+            scheme: Scheme::Mpx,
+            ..Default::default()
+        }
+    }
+
+    /// Full ConfLLVM with segment-register bounds enforcement.
+    pub fn segment() -> Self {
+        CodegenOptions {
+            scheme: Scheme::Segment,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(CodegenOptions::baseline().scheme, Scheme::None);
+        assert!(!CodegenOptions::baseline().cfi);
+        assert_eq!(CodegenOptions::mpx().scheme, Scheme::Mpx);
+        assert!(CodegenOptions::mpx().cfi);
+        assert_eq!(CodegenOptions::segment().scheme, Scheme::Segment);
+    }
+}

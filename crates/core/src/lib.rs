@@ -1,0 +1,31 @@
+//! # confllvm-core
+//!
+//! The driver crate of the ConfLLVM reproduction: it wires the frontend, the
+//! IR, the qualifier inference, the instrumenting code generator, the binary
+//! verifier and the machine simulator into the end-to-end toolchain of
+//! Figure 2, and exposes the paper's evaluation configurations.
+//!
+//! ```
+//! use confllvm_core::{compile_and_run, Config};
+//! use confllvm_vm::World;
+//!
+//! let src = "int main() { return 40 + 2; }";
+//! let (result, _world) = compile_and_run(src, Config::OurSeg, World::new()).unwrap();
+//! assert_eq!(result.exit_code(), Some(42));
+//! ```
+
+pub mod config;
+pub mod pipeline;
+
+pub use config::Config;
+pub use pipeline::{
+    compile, compile_and_run, compile_for, vm_for, Compiled, CompileError, CompileOptions,
+};
+
+// Re-exports so downstream crates (workloads, benches, examples) can use one
+// namespace.
+pub use confllvm_codegen as codegen;
+pub use confllvm_ir as ir;
+pub use confllvm_machine as machine;
+pub use confllvm_minic as minic;
+pub use confllvm_vm as vm;

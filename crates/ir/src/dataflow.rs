@@ -1,0 +1,206 @@
+//! A small generic forward-dataflow framework over IR CFGs, plus a liveness
+//! analysis used by the register allocator in `confllvm-codegen`.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::inst::{BlockId, Operand, ValueId};
+use crate::module::Function;
+
+/// A join-semilattice of dataflow facts.
+pub trait Lattice: Clone + PartialEq {
+    /// Least element.
+    fn bottom() -> Self;
+    /// Least upper bound; returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// A forward transfer function over basic blocks.
+pub trait ForwardTransfer {
+    type Fact: Lattice;
+    /// Apply the block's effect to the incoming fact.
+    fn transfer(&self, f: &Function, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Solve a forward dataflow problem to a fixpoint using a worklist.
+/// Returns the fact holding *at entry* of each block.
+pub fn solve_forward<T: ForwardTransfer>(
+    f: &Function,
+    transfer: &T,
+    entry_fact: T::Fact,
+) -> HashMap<BlockId, T::Fact> {
+    let mut in_facts: HashMap<BlockId, T::Fact> = HashMap::new();
+    for b in &f.blocks {
+        in_facts.insert(b.id, T::Fact::bottom());
+    }
+    in_facts.insert(f.entry(), entry_fact);
+    let mut worklist: Vec<BlockId> = f.blocks.iter().map(|b| b.id).collect();
+    let mut iterations = 0usize;
+    while let Some(b) = worklist.pop() {
+        iterations += 1;
+        if iterations > f.blocks.len() * 64 + 1024 {
+            // Defensive bound; lattices used here all have finite height.
+            break;
+        }
+        let in_fact = in_facts[&b].clone();
+        let out = transfer.transfer(f, b, &in_fact);
+        for succ in f.block(b).term.successors() {
+            let entry = in_facts.get_mut(&succ).expect("all blocks have facts");
+            if entry.join(&out) && !worklist.contains(&succ) {
+                worklist.push(succ);
+            }
+        }
+    }
+    in_facts
+}
+
+/// The set of values live at some program point (a simple powerset lattice,
+/// used backwards for liveness).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LiveSet(pub HashSet<ValueId>);
+
+impl Lattice for LiveSet {
+    fn bottom() -> Self {
+        LiveSet::default()
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().copied());
+        self.0.len() != before
+    }
+}
+
+/// Per-function liveness: for every block, the set of values live at block
+/// entry (classic backwards may-analysis).
+pub fn liveness(f: &Function) -> HashMap<BlockId, LiveSet> {
+    let preds = f.predecessors();
+    let mut live_in: HashMap<BlockId, LiveSet> = f
+        .blocks
+        .iter()
+        .map(|b| (b.id, LiveSet::default()))
+        .collect();
+    let mut worklist: Vec<BlockId> = f.blocks.iter().map(|b| b.id).collect();
+    while let Some(bid) = worklist.pop() {
+        let block = f.block(bid);
+        // live-out = union of successors' live-in.
+        let mut live: HashSet<ValueId> = HashSet::new();
+        for s in block.term.successors() {
+            live.extend(live_in[&s].0.iter().copied());
+        }
+        // Terminator uses.
+        for op in block.term.uses() {
+            if let Operand::Value(v) = op {
+                live.insert(v);
+            }
+        }
+        // Walk instructions backwards.
+        for inst in block.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                live.remove(&d);
+            }
+            for op in inst.uses() {
+                if let Operand::Value(v) = op {
+                    live.insert(v);
+                }
+            }
+        }
+        let entry = live_in.get_mut(&bid).expect("all blocks present");
+        let before = entry.0.len();
+        entry.0.extend(live.iter().copied());
+        if entry.0.len() != before {
+            for p in preds.get(&bid).into_iter().flatten() {
+                if !worklist.contains(p) {
+                    worklist.push(*p);
+                }
+            }
+        }
+    }
+    live_in
+}
+
+/// Values live across at least one call instruction — these must go to
+/// callee-saved registers or stack slots in the register allocator.
+pub fn live_across_calls(f: &Function) -> HashSet<ValueId> {
+    let live_in = liveness(f);
+    let mut result = HashSet::new();
+    for block in &f.blocks {
+        // Recompute liveness backwards through the block, noting call sites.
+        let mut live: HashSet<ValueId> = HashSet::new();
+        for s in block.term.successors() {
+            live.extend(live_in[&s].0.iter().copied());
+        }
+        for op in block.term.uses() {
+            if let Operand::Value(v) = op {
+                live.insert(v);
+            }
+        }
+        for inst in block.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                live.remove(&d);
+            }
+            if inst.is_call() {
+                result.extend(live.iter().copied());
+            }
+            for op in inst.uses() {
+                if let Operand::Value(v) = op {
+                    live.insert(v);
+                }
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use confllvm_minic::{parse, Sema};
+
+    fn lower_fn(src: &str, name: &str) -> Function {
+        let prog = parse(src).unwrap();
+        let sema = Sema::analyze(&prog).unwrap();
+        let m = lower(&prog, &sema, "t").unwrap();
+        m.function(name).unwrap().clone()
+    }
+
+    #[test]
+    fn liveness_in_loop() {
+        let f = lower_fn(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+            "f",
+        );
+        let live = liveness(&f);
+        // The allocas for s and i must be live at the loop-head block.
+        let any_nonempty = live.values().any(|l| !l.0.is_empty());
+        assert!(any_nonempty);
+    }
+
+    #[test]
+    fn values_live_across_calls_detected() {
+        let f = lower_fn(
+            "int g(int x) { return x; }\n\
+             int f(int a) { int t = a + 1; g(a); return t; }",
+            "f",
+        );
+        let across = live_across_calls(&f);
+        assert!(!across.is_empty());
+    }
+
+    #[test]
+    fn straight_line_has_no_call_crossing_values() {
+        let f = lower_fn("int f(int a) { return a + 1; }", "f");
+        assert!(live_across_calls(&f).is_empty());
+    }
+
+    #[test]
+    fn liveset_join() {
+        let mut a = LiveSet::default();
+        a.0.insert(ValueId(1));
+        let mut b = LiveSet::default();
+        b.0.insert(ValueId(2));
+        assert!(a.join(&b));
+        assert!(!a.join(&b));
+        assert_eq!(a.0.len(), 2);
+    }
+}

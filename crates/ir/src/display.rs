@@ -1,0 +1,166 @@
+//! Textual rendering of IR modules, used by `--emit-ir` style debugging, by
+//! error messages and by golden tests.
+
+use std::fmt::Write as _;
+
+use crate::inst::{Inst, Terminator};
+use crate::module::{Function, Module};
+
+/// Render a whole module as text.
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; module {}", m.name);
+    for e in &m.externs {
+        let params: Vec<String> = e
+            .param_taints
+            .iter()
+            .zip(&e.param_pointee_taints)
+            .map(|(t, pt)| format!("{}->{}", t.name(), pt.name()))
+            .collect();
+        let _ = writeln!(
+            out,
+            "extern {}({}) -> {}",
+            e.name,
+            params.join(", "),
+            e.ret_taint.name()
+        );
+    }
+    for g in &m.globals {
+        let _ = writeln!(
+            out,
+            "global {} : {} bytes, {}",
+            g.name,
+            g.size,
+            g.taint.name()
+        );
+    }
+    for f in &m.functions {
+        out.push_str(&function_to_string(f));
+    }
+    out
+}
+
+/// Render one function as text.
+pub fn function_to_string(f: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .zip(&f.param_taints)
+        .map(|(p, t)| format!("{p}: {}", t.name()))
+        .collect();
+    let _ = writeln!(
+        out,
+        "func {}({}) -> {} {{",
+        f.name,
+        params.join(", "),
+        f.ret_taint.name()
+    );
+    for b in &f.blocks {
+        let _ = writeln!(out, "{}:", b.id);
+        for inst in &b.insts {
+            let _ = writeln!(out, "  {}", inst_to_string(f, inst));
+        }
+        let _ = writeln!(out, "  {}", term_to_string(&b.term));
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn inst_to_string(f: &Function, inst: &Inst) -> String {
+    match inst {
+        Inst::Alloca { dst, size, name } => {
+            format!(
+                "{dst} = alloca {size} bytes  ; {name} ({})",
+                f.value_info(*dst).pointee_taint.name()
+            )
+        }
+        Inst::Load {
+            dst,
+            addr,
+            size,
+            region,
+            ..
+        } => format!(
+            "{dst} = load.{} [{addr}]  ; {} region",
+            size.bytes(),
+            region.name()
+        ),
+        Inst::Store {
+            addr,
+            value,
+            size,
+            region,
+            ..
+        } => format!(
+            "store.{} [{addr}], {value}  ; {} region",
+            size.bytes(),
+            region.name()
+        ),
+        Inst::Bin { dst, op, lhs, rhs } => format!("{dst} = {op:?} {lhs}, {rhs}"),
+        Inst::Cmp { dst, op, lhs, rhs } => format!("{dst} = cmp.{op:?} {lhs}, {rhs}"),
+        Inst::Copy { dst, src } => format!("{dst} = {src}"),
+        Inst::GlobalAddr { dst, name } => format!("{dst} = &global {name}"),
+        Inst::FuncAddr { dst, name } => format!("{dst} = &func {name}"),
+        Inst::Call {
+            dst, callee, args, ..
+        } => call_str(dst, &format!("call {callee}"), args),
+        Inst::CallExtern {
+            dst, callee, args, ..
+        } => call_str(dst, &format!("call.extern {callee}"), args),
+        Inst::CallIndirect {
+            dst, target, args, ..
+        } => call_str(dst, &format!("call.indirect {target}"), args),
+    }
+}
+
+fn call_str(
+    dst: &Option<crate::inst::ValueId>,
+    what: &str,
+    args: &[crate::inst::Operand],
+) -> String {
+    let args: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+    match dst {
+        Some(d) => format!("{d} = {what}({})", args.join(", ")),
+        None => format!("{what}({})", args.join(", ")),
+    }
+}
+
+fn term_to_string(t: &Terminator) -> String {
+    match t {
+        Terminator::Br(b) => format!("br {b}"),
+        Terminator::CondBr {
+            cond,
+            then_bb,
+            else_bb,
+            ..
+        } => format!("condbr {cond}, {then_bb}, {else_bb}"),
+        Terminator::Ret { value: Some(v), .. } => format!("ret {v}"),
+        Terminator::Ret { value: None, .. } => "ret".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use confllvm_minic::{parse, Sema};
+
+    #[test]
+    fn renders_module_text() {
+        let prog = parse(
+            "extern int send(int fd, char *buf, int n);\n\
+             private int key;\n\
+             int f(int x) { if (x) { return key; } return 0; }",
+        )
+        .unwrap();
+        let sema = Sema::analyze(&prog).unwrap();
+        let m = lower(&prog, &sema, "demo").unwrap();
+        let text = module_to_string(&m);
+        assert!(text.contains("; module demo"));
+        assert!(text.contains("extern send"));
+        assert!(text.contains("global key"));
+        assert!(text.contains("func f"));
+        assert!(text.contains("condbr"));
+    }
+}

@@ -1,0 +1,41 @@
+//! # confllvm-ir
+//!
+//! The intermediate representation of the ConfLLVM reproduction, together
+//! with:
+//!
+//! * [`lower`] — lowering from the mini-C AST to the IR,
+//! * [`taint`] — the type-qualifier inference of Section 5.1 (a constraint
+//!   solver over the two-point lattice replacing the paper's use of Z3),
+//! * [`passes`] — the standard clean-up optimisations kept enabled by
+//!   ConfLLVM,
+//! * [`dataflow`] — a small dataflow framework plus liveness, used by the
+//!   register allocator,
+//! * [`display`] — textual IR dumps.
+//!
+//! ```
+//! use confllvm_ir::{lower, taint};
+//! use confllvm_minic::{parse, Sema};
+//!
+//! let src = "private int key; private int get() { return key; }";
+//! let prog = parse(src).unwrap();
+//! let sema = Sema::analyze(&prog).unwrap();
+//! let mut module = lower::lower(&prog, &sema, "demo").unwrap();
+//! let report = taint::infer(&mut module, taint::InferOptions::default()).unwrap();
+//! assert!(report.private_accesses > 0);
+//! ```
+
+pub mod builder;
+pub mod dataflow;
+pub mod display;
+pub mod inst;
+pub mod lower;
+pub mod module;
+pub mod passes;
+pub mod taint;
+
+pub use builder::FunctionBuilder;
+pub use inst::{BinOp, BlockId, CmpOp, Inst, MemSize, Operand, Terminator, ValueId};
+pub use lower::lower;
+pub use module::{Block, ExternFunc, Function, Global, Module, ValueInfo};
+pub use passes::{PassOptions, PassStats};
+pub use taint::{infer, InferOptions, TaintError, TaintReport};

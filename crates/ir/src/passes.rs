@@ -1,0 +1,298 @@
+//! Standard clean-up passes run on the IR before qualifier inference and
+//! code generation.
+//!
+//! These stand in for the "standard LLVM IR optimizations" the paper keeps
+//! enabled (Section 5.1).  They are deliberately conservative: none of them
+//! changes the set of memory accesses in a way that would alter taint flow,
+//! mirroring the paper's choice to disable metadata-changing optimizations.
+
+use std::collections::HashMap;
+
+use crate::inst::{Inst, Operand, Terminator, ValueId};
+use crate::module::{Function, Module};
+
+/// Statistics reported by a pass-manager run, used in reports and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    pub folded_constants: usize,
+    pub propagated_copies: usize,
+    pub removed_insts: usize,
+}
+
+/// Which passes to run.  `OurBare` and friends disable the optimizations the
+/// instrumenting compiler does not support; `Base` runs all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassOptions {
+    pub const_fold: bool,
+    pub copy_prop: bool,
+    pub dce: bool,
+}
+
+impl Default for PassOptions {
+    fn default() -> Self {
+        PassOptions {
+            const_fold: true,
+            copy_prop: true,
+            dce: true,
+        }
+    }
+}
+
+impl PassOptions {
+    /// Everything off — the configuration ConfLLVM falls back to for passes
+    /// it cannot make taint-aware.
+    pub fn none() -> Self {
+        PassOptions {
+            const_fold: false,
+            copy_prop: false,
+            dce: false,
+        }
+    }
+}
+
+/// Run the enabled passes over every function until a fixpoint (bounded by a
+/// small iteration count; each pass is individually monotone).
+pub fn run(module: &mut Module, opts: PassOptions) -> PassStats {
+    let mut total = PassStats::default();
+    for f in &mut module.functions {
+        for _ in 0..4 {
+            let mut round = PassStats::default();
+            if opts.const_fold {
+                round.folded_constants += const_fold(f);
+            }
+            if opts.copy_prop {
+                round.propagated_copies += copy_propagate(f);
+            }
+            if opts.dce {
+                round.removed_insts += dead_code_elim(f);
+            }
+            total.folded_constants += round.folded_constants;
+            total.propagated_copies += round.propagated_copies;
+            total.removed_insts += round.removed_insts;
+            if round == PassStats::default() {
+                break;
+            }
+        }
+    }
+    total
+}
+
+/// Fold `Bin`/`Cmp` instructions whose operands are both constants into
+/// copies of the folded constant.
+fn const_fold(f: &mut Function) -> usize {
+    let mut folded = 0;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            let replacement = match inst {
+                Inst::Bin { dst, op, lhs, rhs } => match (lhs.as_const(), rhs.as_const()) {
+                    (Some(a), Some(c)) => Some((*dst, op.eval(a, c))),
+                    _ => None,
+                },
+                Inst::Cmp { dst, op, lhs, rhs } => match (lhs.as_const(), rhs.as_const()) {
+                    (Some(a), Some(c)) => Some((*dst, op.eval(a, c))),
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some((dst, value)) = replacement {
+                *inst = Inst::Copy {
+                    dst,
+                    src: Operand::Const(value),
+                };
+                folded += 1;
+            }
+        }
+    }
+    folded
+}
+
+/// Replace uses of values defined by `Copy` with the copy source.  Only
+/// copies from constants or other values are propagated; the copy itself is
+/// left for DCE to remove.
+///
+/// Copies produced by pointer casts are *not* propagated: the cast result
+/// carries its own declared pointee qualifier which must stay distinct from
+/// the source value (see `crate::taint`).
+fn copy_propagate(f: &mut Function) -> usize {
+    let mut map: HashMap<ValueId, Operand> = HashMap::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Inst::Copy { dst, src } = inst {
+                let is_cast_like = f.values[dst.0 as usize].declared_pointee.is_some();
+                if !is_cast_like {
+                    map.insert(*dst, *src);
+                }
+            }
+        }
+    }
+    if map.is_empty() {
+        return 0;
+    }
+    // Resolve chains (a = copy b; c = copy a).
+    let resolve = |mut op: Operand| {
+        let mut hops = 0;
+        while let Operand::Value(v) = op {
+            match map.get(&v) {
+                Some(next) if hops < 32 => {
+                    op = *next;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        op
+    };
+    let mut changed = 0;
+    let rewrite = |op: &mut Operand, changed: &mut usize| {
+        let new = resolve(*op);
+        if new != *op {
+            *op = new;
+            *changed += 1;
+        }
+    };
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            match inst {
+                Inst::Load { addr, .. } => rewrite(addr, &mut changed),
+                Inst::Store { addr, value, .. } => {
+                    rewrite(addr, &mut changed);
+                    rewrite(value, &mut changed);
+                }
+                Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                    rewrite(lhs, &mut changed);
+                    rewrite(rhs, &mut changed);
+                }
+                Inst::Copy { src, .. } => rewrite(src, &mut changed),
+                Inst::Call { args, .. } | Inst::CallExtern { args, .. } => {
+                    for a in args {
+                        rewrite(a, &mut changed);
+                    }
+                }
+                Inst::CallIndirect { target, args, .. } => {
+                    rewrite(target, &mut changed);
+                    for a in args {
+                        rewrite(a, &mut changed);
+                    }
+                }
+                Inst::Alloca { .. } | Inst::GlobalAddr { .. } | Inst::FuncAddr { .. } => {}
+            }
+        }
+        match &mut b.term {
+            Terminator::CondBr { cond, .. } => rewrite(cond, &mut changed),
+            Terminator::Ret { value: Some(v), .. } => rewrite(v, &mut changed),
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Remove side-effect-free instructions whose result is never used.
+fn dead_code_elim(f: &mut Function) -> usize {
+    let mut used: HashMap<ValueId, bool> = HashMap::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            for op in inst.uses() {
+                if let Operand::Value(v) = op {
+                    used.insert(v, true);
+                }
+            }
+        }
+        for op in b.term.uses() {
+            if let Operand::Value(v) = op {
+                used.insert(v, true);
+            }
+        }
+    }
+    let mut removed = 0;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|inst| {
+            if inst.has_side_effects() {
+                return true;
+            }
+            // Allocas are kept: their addresses may escape via pointer
+            // arithmetic that the simple use-scan above misses only if the
+            // alloca value itself is unused, in which case removal is safe.
+            match inst.def() {
+                Some(dst) => used.get(&dst).copied().unwrap_or(false),
+                None => true,
+            }
+        });
+        removed += before - b.insts.len();
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use confllvm_minic::{parse, Sema};
+
+    fn lower_src(src: &str) -> Module {
+        let prog = parse(src).unwrap();
+        let sema = Sema::analyze(&prog).unwrap();
+        lower(&prog, &sema, "test").unwrap()
+    }
+
+    #[test]
+    fn folds_constant_expressions() {
+        let mut m = lower_src("int f() { return 2 + 3 * 4; }");
+        let stats = run(&mut m, PassOptions::default());
+        assert!(stats.folded_constants >= 2);
+    }
+
+    #[test]
+    fn removes_dead_code() {
+        let mut m = lower_src("int f(int x) { x + 1; 3 * 4; return x; }");
+        let before = m.function("f").unwrap().inst_count();
+        let stats = run(&mut m, PassOptions::default());
+        let after = m.function("f").unwrap().inst_count();
+        assert!(stats.removed_insts > 0);
+        assert!(after < before);
+    }
+
+    #[test]
+    fn keeps_side_effects() {
+        let mut m = lower_src(
+            "extern int send(int fd, char *buf, int n);\n\
+             char buf[8];\n\
+             int f() { send(1, buf, 8); return 0; }",
+        );
+        run(&mut m, PassOptions::default());
+        let f = m.function("f").unwrap();
+        let has_call = f
+            .blocks
+            .iter()
+            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::CallExtern { .. })));
+        assert!(has_call);
+    }
+
+    #[test]
+    fn disabled_passes_do_nothing() {
+        let mut m = lower_src("int f() { return 2 + 3; }");
+        let stats = run(&mut m, PassOptions::none());
+        assert_eq!(stats, PassStats::default());
+    }
+
+    #[test]
+    fn passes_preserve_program_shape_for_inference() {
+        // Optimised and unoptimised versions must infer the same regions.
+        let src = "
+            extern void read_passwd(char *u, private char *p, int n);
+            private int f(char *u) {
+                char pw[32];
+                read_passwd(u, pw, 32);
+                return pw[0] + 0;
+            }
+        ";
+        let mut opt = lower_src(src);
+        run(&mut opt, PassOptions::default());
+        let mut unopt = lower_src(src);
+        run(&mut unopt, PassOptions::none());
+        let r1 = crate::taint::infer(&mut opt, crate::taint::InferOptions::default()).unwrap();
+        let r2 = crate::taint::infer(&mut unopt, crate::taint::InferOptions::default()).unwrap();
+        assert!(r1.private_accesses > 0);
+        assert!(r2.private_accesses > 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Diagnostics produced by the mini-C frontend.
+
+use crate::ast::Span;
+
+/// Which phase of the frontend produced the error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Sema,
+}
+
+/// An error raised while lexing, parsing or analysing a mini-C program.
+#[derive(Debug, Clone)]
+pub struct FrontendError {
+    pub phase: Phase,
+    pub message: String,
+    pub span: Span,
+}
+
+impl FrontendError {
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span,
+        }
+    }
+
+    pub fn sema(message: impl Into<String>, span: Span) -> Self {
+        FrontendError {
+            phase: Phase::Sema,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl std::fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let phase = match self.phase {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::Sema => "semantic",
+        };
+        write!(f, "{} error at {}: {}", phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_phase_and_location() {
+        let e = FrontendError::sema("bad taint", Span::new(10, 3));
+        let s = e.to_string();
+        assert!(s.contains("semantic"));
+        assert!(s.contains("10:3"));
+        assert!(s.contains("bad taint"));
+    }
+}

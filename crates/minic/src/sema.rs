@@ -1,0 +1,596 @@
+//! Semantic analysis for mini-C: symbol resolution, struct layout, sizing and
+//! (loose, C-style) type checking of expressions.
+//!
+//! Taint checking is *not* performed here — information-flow constraints are
+//! generated and solved on the IR (see `confllvm-ir::taint`), matching the
+//! paper's design where the flow analysis runs after the frontend.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::types::{Type, TypeKind};
+
+#[cfg(test)]
+use crate::types::Taint;
+
+/// Size of a machine word / `int` / pointer in bytes.
+pub const WORD_SIZE: u64 = 8;
+
+/// Resolved layout of a struct type.
+#[derive(Debug, Clone)]
+pub struct StructLayout {
+    pub name: String,
+    pub size: u64,
+    pub fields: Vec<FieldLayout>,
+}
+
+#[derive(Debug, Clone)]
+pub struct FieldLayout {
+    pub name: String,
+    pub offset: u64,
+    pub ty: Type,
+}
+
+impl StructLayout {
+    pub fn field(&self, name: &str) -> Option<&FieldLayout> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// A function or extern signature as seen by callers.
+#[derive(Debug, Clone)]
+pub struct Signature {
+    pub name: String,
+    pub params: Vec<Type>,
+    pub param_names: Vec<String>,
+    pub ret: Type,
+    pub is_extern: bool,
+}
+
+/// The result of semantic analysis: everything the lowering pass needs to
+/// know about the program besides the AST itself.
+#[derive(Debug, Clone, Default)]
+pub struct Sema {
+    pub structs: HashMap<String, StructLayout>,
+    pub signatures: HashMap<String, Signature>,
+    pub globals: HashMap<String, Type>,
+}
+
+impl Sema {
+    /// Analyse a program.  Returns the analysis tables or the first error.
+    pub fn analyze(prog: &Program) -> Result<Sema, FrontendError> {
+        let mut sema = Sema::default();
+        // Struct layouts first (structs may reference earlier structs).
+        for s in &prog.structs {
+            let layout = sema.layout_struct(s)?;
+            sema.structs.insert(s.name.clone(), layout);
+        }
+        // Globals.
+        for g in &prog.globals {
+            if sema.globals.contains_key(&g.name) {
+                return Err(FrontendError::sema(
+                    format!("duplicate global `{}`", g.name),
+                    g.span,
+                ));
+            }
+            sema.size_of(&g.ty, g.span)?;
+            sema.globals.insert(g.name.clone(), g.ty.clone());
+        }
+        // Signatures for externs (T) and defined functions (U).
+        for e in &prog.externs {
+            sema.signatures.insert(
+                e.name.clone(),
+                Signature {
+                    name: e.name.clone(),
+                    params: e.params.iter().map(|p| p.ty.clone()).collect(),
+                    param_names: e.params.iter().map(|p| p.name.clone()).collect(),
+                    ret: e.ret.clone(),
+                    is_extern: true,
+                },
+            );
+        }
+        for f in &prog.functions {
+            if sema.signatures.contains_key(&f.name) {
+                return Err(FrontendError::sema(
+                    format!("function `{}` conflicts with an earlier declaration", f.name),
+                    f.span,
+                ));
+            }
+            sema.signatures.insert(
+                f.name.clone(),
+                Signature {
+                    name: f.name.clone(),
+                    params: f.params.iter().map(|p| p.ty.clone()).collect(),
+                    param_names: f.params.iter().map(|p| p.name.clone()).collect(),
+                    ret: f.ret.clone(),
+                    is_extern: false,
+                },
+            );
+        }
+        // Check every function body.
+        for f in &prog.functions {
+            sema.check_function(f)?;
+        }
+        Ok(sema)
+    }
+
+    fn layout_struct(&self, s: &StructDef) -> Result<StructLayout, FrontendError> {
+        let mut fields = Vec::new();
+        let mut offset = 0u64;
+        for f in &s.fields {
+            let size = self.size_of(&f.ty, f.span)?;
+            // Word-align every field; mini-C has no packed structs.
+            let align = if size >= WORD_SIZE { WORD_SIZE } else { 1 };
+            offset = offset.div_ceil(align) * align;
+            fields.push(FieldLayout {
+                name: f.name.clone(),
+                offset,
+                ty: f.ty.clone(),
+            });
+            offset += size;
+        }
+        let size = offset.div_ceil(WORD_SIZE) * WORD_SIZE;
+        Ok(StructLayout {
+            name: s.name.clone(),
+            size: size.max(WORD_SIZE),
+            fields,
+        })
+    }
+
+    /// Byte size of a type.
+    pub fn size_of(&self, ty: &Type, span: Span) -> Result<u64, FrontendError> {
+        Ok(match &ty.kind {
+            TypeKind::Void => 0,
+            TypeKind::Char => 1,
+            TypeKind::Int | TypeKind::Ptr(_) | TypeKind::FuncPtr { .. } => WORD_SIZE,
+            TypeKind::Array(elem, n) => self.size_of(elem, span)? * n,
+            TypeKind::Struct(name) => {
+                self.structs
+                    .get(name)
+                    .ok_or_else(|| {
+                        FrontendError::sema(format!("unknown struct `{name}`"), span)
+                    })?
+                    .size
+            }
+        })
+    }
+
+    /// Access width in bytes when loading/storing a value of this type.
+    pub fn access_size(&self, ty: &Type) -> u64 {
+        match &ty.kind {
+            TypeKind::Char => 1,
+            _ => WORD_SIZE,
+        }
+    }
+
+    pub fn struct_layout(&self, name: &str) -> Option<&StructLayout> {
+        self.structs.get(name)
+    }
+
+    pub fn signature(&self, name: &str) -> Option<&Signature> {
+        self.signatures.get(name)
+    }
+
+    // ----- function-body checking -------------------------------------------
+
+    fn check_function(&self, f: &FunctionDef) -> Result<(), FrontendError> {
+        let mut env = LocalEnv::new(self);
+        for p in &f.params {
+            env.declare(&p.name, p.ty.clone(), p.span)?;
+        }
+        env.check_block(&f.body)?;
+        Ok(())
+    }
+
+    /// Compute the static type of an expression under a local environment.
+    /// This is also used by the lowering pass, which builds the same
+    /// environment as it walks the function.
+    pub fn type_of_expr(
+        &self,
+        expr: &Expr,
+        lookup: &dyn Fn(&str) -> Option<Type>,
+    ) -> Result<Type, FrontendError> {
+        let t = match &expr.kind {
+            ExprKind::IntLit(_) => Type::int(),
+            ExprKind::CharLit(_) => Type::char(),
+            ExprKind::StrLit(_) => Type::ptr(Type::char()),
+            ExprKind::Ident(name) => {
+                if let Some(t) = lookup(name) {
+                    t
+                } else if let Some(t) = self.globals.get(name) {
+                    t.clone()
+                } else if let Some(sig) = self.signatures.get(name) {
+                    Type::func_ptr(sig.params.clone(), sig.ret.clone())
+                } else {
+                    return Err(FrontendError::sema(
+                        format!("unknown identifier `{name}`"),
+                        expr.span,
+                    ));
+                }
+            }
+            ExprKind::Unary { op, operand } => {
+                let inner = self.type_of_expr(operand, lookup)?;
+                match op {
+                    UnOp::Deref => match inner.decay().kind {
+                        TypeKind::Ptr(t) => *t,
+                        _ => {
+                            return Err(FrontendError::sema(
+                                format!("cannot dereference value of type `{inner}`"),
+                                expr.span,
+                            ))
+                        }
+                    },
+                    UnOp::AddrOf => Type::ptr(inner),
+                    UnOp::Neg | UnOp::Not | UnOp::BitNot => {
+                        Type::new(TypeKind::Int, inner.taint)
+                    }
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let lt = self.type_of_expr(lhs, lookup)?.decay();
+                let rt = self.type_of_expr(rhs, lookup)?.decay();
+                let taint = lt.taint.join(rt.taint);
+                if op.is_comparison() {
+                    Type::new(TypeKind::Int, taint)
+                } else if lt.is_pointer() {
+                    // Pointer arithmetic keeps the pointer type.
+                    lt.with_outer_taint(taint)
+                } else if rt.is_pointer() {
+                    rt.with_outer_taint(taint)
+                } else {
+                    Type::new(TypeKind::Int, taint)
+                }
+            }
+            ExprKind::Assign { lhs, rhs } => {
+                if !lhs.is_lvalue() {
+                    return Err(FrontendError::sema(
+                        "left side of assignment is not an lvalue",
+                        expr.span,
+                    ));
+                }
+                let _ = self.type_of_expr(rhs, lookup)?;
+                self.type_of_expr(lhs, lookup)?
+            }
+            ExprKind::Call { callee, args } => {
+                // Direct call to a known function.
+                if let ExprKind::Ident(name) = &callee.kind {
+                    if let Some(sig) = self.signatures.get(name) {
+                        if sig.params.len() != args.len() {
+                            return Err(FrontendError::sema(
+                                format!(
+                                    "`{name}` expects {} arguments but {} were supplied",
+                                    sig.params.len(),
+                                    args.len()
+                                ),
+                                expr.span,
+                            ));
+                        }
+                        for a in args {
+                            let _ = self.type_of_expr(a, lookup)?;
+                        }
+                        return Ok(sig.ret.clone());
+                    }
+                }
+                // Indirect call through a function pointer value.
+                let callee_ty = self.type_of_expr(callee, lookup)?;
+                match callee_ty.kind {
+                    TypeKind::FuncPtr { params, ret } => {
+                        if params.len() != args.len() {
+                            return Err(FrontendError::sema(
+                                format!(
+                                    "indirect call expects {} arguments but {} were supplied",
+                                    params.len(),
+                                    args.len()
+                                ),
+                                expr.span,
+                            ));
+                        }
+                        for a in args {
+                            let _ = self.type_of_expr(a, lookup)?;
+                        }
+                        *ret
+                    }
+                    _ => {
+                        return Err(FrontendError::sema(
+                            "called value is neither a function nor a function pointer",
+                            expr.span,
+                        ))
+                    }
+                }
+            }
+            ExprKind::Index { base, index } => {
+                let bt = self.type_of_expr(base, lookup)?;
+                let _ = self.type_of_expr(index, lookup)?;
+                match bt.decay().kind {
+                    TypeKind::Ptr(inner) => *inner,
+                    _ => {
+                        return Err(FrontendError::sema(
+                            format!("cannot index value of type `{bt}`"),
+                            expr.span,
+                        ))
+                    }
+                }
+            }
+            ExprKind::Member { base, field } => {
+                let bt = self.type_of_expr(base, lookup)?;
+                self.member_type(&bt, field, expr.span, false)?
+            }
+            ExprKind::Arrow { base, field } => {
+                let bt = self.type_of_expr(base, lookup)?;
+                self.member_type(&bt, field, expr.span, true)?
+            }
+            ExprKind::Cast { ty, .. } => ty.clone(),
+            ExprKind::SizeOf(_) => Type::int(),
+        };
+        Ok(t)
+    }
+
+    /// The type of `base.field` (or `base->field` when `through_ptr`).
+    /// Per the paper (Section 5.1), fields inherit their outermost qualifier
+    /// from the struct-typed variable they are accessed through.
+    pub fn member_type(
+        &self,
+        base_ty: &Type,
+        field: &str,
+        span: Span,
+        through_ptr: bool,
+    ) -> Result<Type, FrontendError> {
+        let (struct_name, outer_taint) = if through_ptr {
+            match &base_ty.decay().kind {
+                TypeKind::Ptr(inner) => match &inner.kind {
+                    TypeKind::Struct(n) => (n.clone(), inner.taint),
+                    _ => {
+                        return Err(FrontendError::sema(
+                            format!("`->` applied to non-struct pointer `{base_ty}`"),
+                            span,
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(FrontendError::sema(
+                        format!("`->` applied to non-pointer `{base_ty}`"),
+                        span,
+                    ))
+                }
+            }
+        } else {
+            match &base_ty.kind {
+                TypeKind::Struct(n) => (n.clone(), base_ty.taint),
+                _ => {
+                    return Err(FrontendError::sema(
+                        format!("`.` applied to non-struct `{base_ty}`"),
+                        span,
+                    ))
+                }
+            }
+        };
+        let layout = self.structs.get(&struct_name).ok_or_else(|| {
+            FrontendError::sema(format!("unknown struct `{struct_name}`"), span)
+        })?;
+        let f = layout.field(field).ok_or_else(|| {
+            FrontendError::sema(
+                format!("struct `{struct_name}` has no field `{field}`"),
+                span,
+            )
+        })?;
+        // Outermost qualifier inherited from the variable; inner qualifiers
+        // (e.g. pointee taints) stay as declared in the struct.
+        Ok(f.ty.clone().with_outer_taint(f.ty.taint.join(outer_taint)))
+    }
+}
+
+/// Local scope used while checking a function body.
+struct LocalEnv<'a> {
+    sema: &'a Sema,
+    scopes: Vec<HashMap<String, Type>>,
+}
+
+impl<'a> LocalEnv<'a> {
+    fn new(sema: &'a Sema) -> Self {
+        LocalEnv {
+            sema,
+            scopes: vec![HashMap::new()],
+        }
+    }
+
+    fn declare(&mut self, name: &str, ty: Type, span: Span) -> Result<(), FrontendError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.contains_key(name) {
+            return Err(FrontendError::sema(
+                format!("duplicate declaration of `{name}` in the same scope"),
+                span,
+            ));
+        }
+        scope.insert(name.to_string(), ty);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Option<Type> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Some(t.clone());
+            }
+        }
+        None
+    }
+
+    fn check_block(&mut self, block: &Block) -> Result<(), FrontendError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.check_stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), FrontendError> {
+        match stmt {
+            Stmt::Decl {
+                name,
+                ty,
+                init,
+                span,
+            } => {
+                self.sema.size_of(ty, *span)?;
+                if let Some(init) = init {
+                    self.check_expr(init)?;
+                }
+                self.declare(name, ty.clone(), *span)?;
+            }
+            Stmt::Expr(e) => {
+                self.check_expr(e)?;
+            }
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+                ..
+            } => {
+                self.check_expr(cond)?;
+                self.check_block(then_blk)?;
+                if let Some(b) = else_blk {
+                    self.check_block(b)?;
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_expr(cond)?;
+                self.check_block(body)?;
+            }
+            Stmt::For {
+                init,
+                cond,
+                step,
+                body,
+                ..
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.check_stmt(init)?;
+                }
+                if let Some(cond) = cond {
+                    self.check_expr(cond)?;
+                }
+                if let Some(step) = step {
+                    self.check_expr(step)?;
+                }
+                self.check_block(body)?;
+                self.scopes.pop();
+            }
+            Stmt::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.check_expr(v)?;
+                }
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => {}
+            Stmt::Block(b) => self.check_block(b)?,
+        }
+        Ok(())
+    }
+
+    fn check_expr(&self, e: &Expr) -> Result<Type, FrontendError> {
+        let lookup = |name: &str| self.lookup(name);
+        self.sema.type_of_expr(e, &lookup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn analyze(src: &str) -> Result<Sema, FrontendError> {
+        let prog = parse(src).unwrap();
+        Sema::analyze(&prog)
+    }
+
+    #[test]
+    fn struct_layout_offsets() {
+        let sema = analyze(
+            "struct req { int id; char tag; int size; char buf[12]; };\n\
+             int f(struct req *r) { return r->size; }\n",
+        )
+        .unwrap();
+        let l = sema.struct_layout("req").unwrap();
+        assert_eq!(l.field("id").unwrap().offset, 0);
+        assert_eq!(l.field("tag").unwrap().offset, 8);
+        // char tag occupies 1 byte, next word-sized field is aligned up.
+        assert_eq!(l.field("size").unwrap().offset, 16);
+        assert_eq!(l.field("buf").unwrap().offset, 24);
+        assert_eq!(l.size, 40);
+    }
+
+    #[test]
+    fn undefined_identifier_is_an_error() {
+        let err = analyze("int f() { return missing; }").unwrap_err();
+        assert!(err.to_string().contains("unknown identifier"));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let err = analyze(
+            "int g(int a, int b) { return a + b; }\n\
+             int f() { return g(1); }\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("expects 2 arguments"));
+    }
+
+    #[test]
+    fn unknown_field_is_an_error() {
+        let err = analyze(
+            "struct s { int a; };\n int f(struct s *p) { return p->b; }\n",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no field"));
+    }
+
+    #[test]
+    fn member_taint_inherits_outer_qualifier() {
+        let sema = analyze(
+            "struct st { int *p; };\n int f(private struct st *x) { return 0; }\n",
+        )
+        .unwrap();
+        // `x` is a pointer to a private struct st; x->p should be a private
+        // pointer (outermost taint inherited).
+        let base = Type::ptr(Type::strukt("st").with_outer_taint(Taint::Private));
+        let t = sema
+            .member_type(&base, "p", Span::default(), true)
+            .unwrap();
+        assert_eq!(t.taint, Taint::Private);
+    }
+
+    #[test]
+    fn extern_and_function_signatures_registered() {
+        let sema = analyze(
+            "extern int send(int fd, char *buf, int n);\n\
+             int f() { return 0; }\n",
+        )
+        .unwrap();
+        assert!(sema.signature("send").unwrap().is_extern);
+        assert!(!sema.signature("f").unwrap().is_extern);
+    }
+
+    #[test]
+    fn sizeof_types() {
+        let sema = analyze("int f() { return 0; }").unwrap();
+        assert_eq!(sema.size_of(&Type::int(), Span::default()).unwrap(), 8);
+        assert_eq!(sema.size_of(&Type::char(), Span::default()).unwrap(), 1);
+        assert_eq!(
+            sema.size_of(&Type::array(Type::char(), 512), Span::default())
+                .unwrap(),
+            512
+        );
+        assert_eq!(
+            sema.size_of(&Type::ptr(Type::private_int()), Span::default())
+                .unwrap(),
+            8
+        );
+    }
+
+    #[test]
+    fn duplicate_local_rejected() {
+        let err = analyze("int f() { int x; int x; return 0; }").unwrap_err();
+        assert!(err.to_string().contains("duplicate declaration"));
+    }
+}

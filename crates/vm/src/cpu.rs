@@ -1,0 +1,735 @@
+//! The machine simulator: executes linked programs instruction by
+//! instruction, enforcing exactly the architectural behaviour the paper's
+//! instrumentation relies on — MPX bound registers, segment bases, unmapped
+//! guard regions, the `_chkstk` stack-bounds check — and accounting cycles
+//! with the cost model of [`crate::cost`].
+
+use confllvm_machine::{
+    trap, AluOp, BndReg, MInst, MemOperand, Program, Reg, RegImm, Taint,
+    ARG_REGS, RET_REG,
+};
+
+use crate::alloc::{AllocatorKind, Heap};
+use crate::cache::DataCache;
+use crate::cost::CostModel;
+use crate::loader::{load, Image, LoadError};
+use crate::memory::{MemFault, Memory};
+use crate::trusted::{self, TrustedCtx, TrustedError};
+use crate::world::World;
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmOptions {
+    pub allocator: AllocatorKind,
+    /// Number of cores used to aggregate per-thread cycles into wall cycles.
+    pub cores: usize,
+    /// Maximum number of instructions per thread before declaring a runaway.
+    pub fuel: u64,
+    pub cost: CostModel,
+    /// Model the data cache (adds the cache-miss penalty to loads/stores).
+    pub cache_model: bool,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            allocator: AllocatorKind::ConfBins,
+            cores: 4,
+            fuel: 500_000_000,
+            cost: CostModel::default(),
+            cache_model: true,
+        }
+    }
+}
+
+/// Execution faults.  Every one of these means the program was *stopped* —
+/// this is how the runtime checks turn attempted leaks into crashes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Access to unmapped memory (guard regions, wild pointers).
+    Memory(MemFault),
+    /// MPX bound-check failure.
+    Bounds { addr: u64, region: Taint },
+    /// Taint-aware CFI violation (magic-word mismatch or trap).
+    Cfi,
+    /// Jump/call to something that is not an instruction boundary.
+    InvalidJump { word: u64 },
+    /// Fell into a magic data word.
+    ExecutedMagic { word: u64 },
+    DivZero,
+    /// `_chkstk` found rsp outside the current thread's stack.
+    StackCheck { rsp: u64 },
+    /// A trusted wrapper rejected a call.
+    Trusted(TrustedError),
+    /// Call to an extern index with no registered T function.
+    UnknownExtern { index: u16 },
+    /// Explicit abort.
+    Abort,
+    /// Instruction budget exhausted.
+    OutOfFuel,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Memory(m) => write!(f, "memory fault: {m}"),
+            Fault::Bounds { addr, region } => {
+                write!(f, "bounds violation: {addr:#x} not in {} region", region.name())
+            }
+            Fault::Cfi => write!(f, "taint-aware CFI violation"),
+            Fault::InvalidJump { word } => write!(f, "invalid jump target word {word}"),
+            Fault::ExecutedMagic { word } => write!(f, "executed magic word {word:#x}"),
+            Fault::DivZero => write!(f, "division by zero"),
+            Fault::StackCheck { rsp } => write!(f, "chkstk: rsp {rsp:#x} outside thread stack"),
+            Fault::Trusted(e) => write!(f, "{e}"),
+            Fault::UnknownExtern { index } => write!(f, "unknown extern #{index}"),
+            Fault::Abort => write!(f, "abort"),
+            Fault::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    Exit(i64),
+    Fault(Fault),
+}
+
+impl Outcome {
+    pub fn exit_code(&self) -> Option<i64> {
+        match self {
+            Outcome::Exit(c) => Some(*c),
+            Outcome::Fault(_) => None,
+        }
+    }
+
+    pub fn is_fault(&self) -> bool {
+        matches!(self, Outcome::Fault(_))
+    }
+}
+
+/// Execution statistics (cycle counts are per the configured cost model).
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    pub instructions: u64,
+    pub cycles: u64,
+    pub loads: u64,
+    pub stores: u64,
+    pub bound_checks: u64,
+    pub cfi_checks: u64,
+    pub extern_calls: u64,
+    pub extern_bytes: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Cycles per thread (for the multi-threaded experiments).
+    pub thread_cycles: Vec<u64>,
+}
+
+impl ExecStats {
+    /// Wall-clock cycles on a machine with `cores` cores: threads are
+    /// assigned round-robin and each core's time is the sum of its threads.
+    pub fn wall_cycles(&self, cores: usize) -> u64 {
+        if self.thread_cycles.is_empty() {
+            return self.cycles;
+        }
+        let cores = cores.max(1);
+        let mut per_core = vec![0u64; cores];
+        for (i, c) in self.thread_cycles.iter().enumerate() {
+            per_core[i % cores] += c;
+        }
+        per_core.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    pub outcome: Outcome,
+    pub stats: ExecStats,
+}
+
+impl RunResult {
+    pub fn exit_code(&self) -> Option<i64> {
+        self.outcome.exit_code()
+    }
+
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+struct ThreadState {
+    regs: [u64; Reg::COUNT],
+    last_cmp: (i64, i64),
+    pc: usize,
+    tid: usize,
+}
+
+/// The virtual machine.
+pub struct Vm {
+    pub image: Image,
+    pub memory: Memory,
+    pub world: World,
+    pub opts: VmOptions,
+    cache: DataCache,
+    pub_heap: Heap,
+    priv_heap: Heap,
+    pub stats: ExecStats,
+}
+
+impl Vm {
+    /// Load a program into a fresh VM.
+    pub fn new(program: &Program, opts: VmOptions, world: World) -> Result<Vm, LoadError> {
+        let loaded = load(program, opts.allocator)?;
+        Ok(Vm {
+            image: loaded.image,
+            memory: loaded.memory,
+            world,
+            opts,
+            cache: DataCache::default_l1(),
+            pub_heap: loaded.pub_heap,
+            priv_heap: loaded.priv_heap,
+            stats: ExecStats::default(),
+        })
+    }
+
+    /// Run the program's entry function with no arguments.
+    pub fn run(&mut self) -> RunResult {
+        let entry = self.image.functions[self.image.entry_function].name.clone();
+        self.run_function(&entry, &[])
+    }
+
+    /// Run a named function with up to four integer arguments on thread 0.
+    pub fn run_function(&mut self, name: &str, args: &[i64]) -> RunResult {
+        let outcome = self.run_thread(0, name, args);
+        RunResult {
+            outcome,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Run `threads.len()` threads, thread `i` executing `name(threads[i])`.
+    /// Threads are simulated sequentially (the workloads only share
+    /// read-only state); per-thread cycle counts feed the wall-clock model.
+    pub fn run_threads(&mut self, name: &str, threads: &[Vec<i64>]) -> RunResult {
+        let mut last = Outcome::Exit(0);
+        for (tid, args) in threads.iter().enumerate() {
+            let before = self.stats.cycles;
+            let outcome = self.run_thread(tid, name, args);
+            self.stats.thread_cycles.push(self.stats.cycles - before);
+            if outcome.is_fault() {
+                return RunResult {
+                    outcome,
+                    stats: self.stats.clone(),
+                };
+            }
+            last = outcome;
+        }
+        RunResult {
+            outcome: last,
+            stats: self.stats.clone(),
+        }
+    }
+
+    fn run_thread(&mut self, tid: usize, name: &str, args: &[i64]) -> Outcome {
+        let Some(func) = self.image.function(name).cloned() else {
+            return Outcome::Fault(Fault::InvalidJump { word: 0 });
+        };
+        let Some(&entry_inst) = self.image.word_to_inst.get(&func.entry_word) else {
+            return Outcome::Fault(Fault::InvalidJump {
+                word: func.entry_word as u64,
+            });
+        };
+        let mut t = ThreadState {
+            regs: [0u64; Reg::COUNT],
+            last_cmp: (0, 0),
+            pc: entry_inst,
+            tid,
+        };
+        t.regs[Reg::Rsp.index()] = self.image.layout.initial_rsp(tid);
+        for (i, a) in args.iter().take(4).enumerate() {
+            t.regs[ARG_REGS[i].index()] = *a as u64;
+        }
+        // Push the exit thunk as the initial return address.
+        let thunk = if func.ret_taint == Taint::Private {
+            self.image.exit_thunks.private_ret
+        } else {
+            self.image.exit_thunks.public_ret
+        };
+        t.regs[Reg::Rsp.index()] -= 8;
+        if let Err(e) = self
+            .memory
+            .write(t.regs[Reg::Rsp.index()], 8, thunk as u64)
+        {
+            return Outcome::Fault(Fault::Memory(e));
+        }
+        self.exec_loop(&mut t)
+    }
+
+    // ------------------------------------------------------------------
+    // execution
+    // ------------------------------------------------------------------
+
+    fn charge(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    fn data_access(&mut self, addr: u64) {
+        if self.opts.cache_model {
+            if self.cache.access(addr) {
+                self.stats.cache_hits += 1;
+            } else {
+                self.stats.cache_misses += 1;
+                self.charge(self.opts.cost.cache_miss);
+            }
+        }
+    }
+
+    fn ea(&self, t: &ThreadState, mem: &MemOperand) -> u64 {
+        let regs = t.regs;
+        mem.effective_address(
+            &|r: Reg| regs[r.index()],
+            self.image.fs_base(),
+            self.image.gs_base(),
+        )
+    }
+
+    fn exec_loop(&mut self, t: &mut ThreadState) -> Outcome {
+        let cost = self.opts.cost;
+        let mut executed: u64 = 0;
+        let mut prev_was_muldiv = false;
+        loop {
+            if executed >= self.opts.fuel {
+                return Outcome::Fault(Fault::OutOfFuel);
+            }
+            executed += 1;
+            self.stats.instructions += 1;
+            if t.pc >= self.image.insts.len() {
+                return Outcome::Fault(Fault::InvalidJump { word: t.pc as u64 });
+            }
+            let inst = self.image.insts[t.pc].clone();
+            let mut next_pc = t.pc + 1;
+            let mut this_is_muldiv = false;
+            match inst {
+                MInst::Nop => self.charge(cost.alu),
+                MInst::MovImm { dst, imm } => {
+                    t.regs[dst.index()] = imm as u64;
+                    self.charge(cost.mov);
+                }
+                MInst::MovReg { dst, src } => {
+                    t.regs[dst.index()] = t.regs[src.index()];
+                    self.charge(cost.mov);
+                }
+                MInst::MovGlobal { dst, index } => {
+                    let addr = self
+                        .image
+                        .global_addrs
+                        .get(index as usize)
+                        .copied()
+                        .unwrap_or(0);
+                    t.regs[dst.index()] = addr;
+                    self.charge(cost.mov);
+                }
+                MInst::MovFunc { dst, index } => {
+                    let f = &self.image.functions[index as usize];
+                    t.regs[dst.index()] = f.magic_word.unwrap_or(f.entry_word) as u64;
+                    self.charge(cost.mov);
+                }
+                MInst::Lea { dst, mem } => {
+                    t.regs[dst.index()] = self.ea(t, &mem);
+                    self.charge(cost.lea);
+                }
+                MInst::Alu { op, dst, src } => {
+                    let rhs = match src {
+                        RegImm::Reg(r) => t.regs[r.index()] as i64,
+                        RegImm::Imm(i) => i,
+                    };
+                    if matches!(op, AluOp::Div | AluOp::Rem) && rhs == 0 {
+                        return Outcome::Fault(Fault::DivZero);
+                    }
+                    let lhs = t.regs[dst.index()] as i64;
+                    t.regs[dst.index()] = op.eval(lhs, rhs) as u64;
+                    this_is_muldiv = matches!(op, AluOp::Mul | AluOp::Div | AluOp::Rem);
+                    self.charge(cost.alu);
+                }
+                MInst::Cmp { lhs, rhs } => {
+                    let r = match rhs {
+                        RegImm::Reg(r) => t.regs[r.index()] as i64,
+                        RegImm::Imm(i) => i,
+                    };
+                    t.last_cmp = (t.regs[lhs.index()] as i64, r);
+                    self.charge(cost.alu);
+                }
+                MInst::SetCond { dst, cond } => {
+                    t.regs[dst.index()] = cond.eval(t.last_cmp.0, t.last_cmp.1) as u64;
+                    self.charge(cost.alu);
+                }
+                MInst::Jcc { cond, target } => {
+                    self.charge(cost.jump);
+                    if cond.eval(t.last_cmp.0, t.last_cmp.1) {
+                        match self.inst_at_word(target as u64) {
+                            Some(i) => next_pc = i,
+                            None => return Outcome::Fault(Fault::InvalidJump { word: target as u64 }),
+                        }
+                    }
+                }
+                MInst::Jmp { target } => {
+                    self.charge(cost.jump);
+                    match self.inst_at_word(target as u64) {
+                        Some(i) => next_pc = i,
+                        None => return Outcome::Fault(Fault::InvalidJump { word: target as u64 }),
+                    }
+                }
+                MInst::JmpReg { reg } => {
+                    self.charge(cost.jump);
+                    let target = t.regs[reg.index()];
+                    match self.inst_at_word(target) {
+                        Some(i) => next_pc = i,
+                        None => return Outcome::Fault(Fault::InvalidJump { word: target }),
+                    }
+                }
+                MInst::Load { dst, mem, size } => {
+                    let addr = self.ea(t, &mem);
+                    self.data_access(addr);
+                    match self.memory.read(addr, size as u64) {
+                        Ok(v) => t.regs[dst.index()] = v,
+                        Err(e) => return Outcome::Fault(Fault::Memory(e)),
+                    }
+                    self.stats.loads += 1;
+                    self.charge(cost.load);
+                }
+                MInst::Store { mem, src, size } => {
+                    let addr = self.ea(t, &mem);
+                    self.data_access(addr);
+                    if let Err(e) = self.memory.write(addr, size as u64, t.regs[src.index()]) {
+                        return Outcome::Fault(Fault::Memory(e));
+                    }
+                    self.stats.stores += 1;
+                    self.charge(cost.store);
+                }
+                MInst::Push { src } => {
+                    let rsp = t.regs[Reg::Rsp.index()] - 8;
+                    t.regs[Reg::Rsp.index()] = rsp;
+                    self.data_access(rsp);
+                    if let Err(e) = self.memory.write(rsp, 8, t.regs[src.index()]) {
+                        return Outcome::Fault(Fault::Memory(e));
+                    }
+                    self.charge(cost.push_pop);
+                }
+                MInst::Pop { dst } => {
+                    let rsp = t.regs[Reg::Rsp.index()];
+                    self.data_access(rsp);
+                    match self.memory.read(rsp, 8) {
+                        Ok(v) => t.regs[dst.index()] = v,
+                        Err(e) => return Outcome::Fault(Fault::Memory(e)),
+                    }
+                    t.regs[Reg::Rsp.index()] = rsp + 8;
+                    self.charge(cost.push_pop);
+                }
+                MInst::BndCheck { bnd, mem, upper } => {
+                    let addr = self.ea(t, &mem);
+                    let (lo, hi) = match bnd {
+                        BndReg::Bnd0 => self.image.bnd0(),
+                        BndReg::Bnd1 => self.image.bnd1(),
+                    };
+                    let violated = if upper { addr >= hi } else { addr < lo };
+                    if violated {
+                        let region = match bnd {
+                            BndReg::Bnd0 => Taint::Public,
+                            BndReg::Bnd1 => Taint::Private,
+                        };
+                        return Outcome::Fault(Fault::Bounds { addr, region });
+                    }
+                    self.stats.bound_checks += 1;
+                    if !(cost.dual_issue_checks && prev_was_muldiv) {
+                        self.charge(cost.bnd_check);
+                    }
+                }
+                MInst::LoadCode { dst, addr } => {
+                    let w = t.regs[addr.index()];
+                    t.regs[dst.index()] = self
+                        .image
+                        .code_words
+                        .get(w as usize)
+                        .copied()
+                        .unwrap_or(0);
+                    self.stats.cfi_checks += 1;
+                    self.charge(cost.load_code);
+                }
+                MInst::ChkStk => {
+                    let rsp = t.regs[Reg::Rsp.index()];
+                    let base = self.image.layout.thread_stack_base(t.tid);
+                    let top = base + self.image.layout.thread_stack_size;
+                    if rsp < base || rsp > top {
+                        return Outcome::Fault(Fault::StackCheck { rsp });
+                    }
+                    self.charge(cost.chkstk);
+                }
+                MInst::CallDirect { target } => {
+                    self.charge(cost.call);
+                    let ret_word = self.image.word_of[t.pc] + 2;
+                    if let Err(e) = self.push_word(t, ret_word as u64) {
+                        return Outcome::Fault(e);
+                    }
+                    match self.inst_at_word(target as u64) {
+                        Some(i) => next_pc = i,
+                        None => return Outcome::Fault(Fault::InvalidJump { word: target as u64 }),
+                    }
+                }
+                MInst::CallReg { reg } => {
+                    self.charge(cost.call);
+                    let target = t.regs[reg.index()];
+                    let ret_word = self.image.word_of[t.pc] + 2;
+                    if let Err(e) = self.push_word(t, ret_word as u64) {
+                        return Outcome::Fault(e);
+                    }
+                    match self.inst_at_word(target) {
+                        Some(i) => next_pc = i,
+                        None => return Outcome::Fault(Fault::InvalidJump { word: target }),
+                    }
+                }
+                MInst::Ret => {
+                    self.charge(cost.ret);
+                    let rsp = t.regs[Reg::Rsp.index()];
+                    let word = match self.memory.read(rsp, 8) {
+                        Ok(v) => v,
+                        Err(e) => return Outcome::Fault(Fault::Memory(e)),
+                    };
+                    t.regs[Reg::Rsp.index()] = rsp + 8;
+                    match self.inst_at_word(word) {
+                        Some(i) => next_pc = i,
+                        None => return Outcome::Fault(Fault::InvalidJump { word }),
+                    }
+                }
+                MInst::CallExternal { index } => {
+                    match self.call_external(t, index) {
+                        Ok(()) => {}
+                        Err(f) => return Outcome::Fault(f),
+                    }
+                    // Skip (and validate) the return-site magic word the
+                    // wrapper would check on the way back into U.
+                    if self.image.cfi {
+                        if let Some(MInst::MagicWord { value }) = self.image.insts.get(t.pc + 1) {
+                            let spec_ret = self
+                                .image
+                                .externs
+                                .get(index as usize)
+                                .map(|e| e.ret_taint)
+                                .unwrap_or(Taint::Public);
+                            match self.image.prefixes.decode_ret(*value) {
+                                Some(rt) if rt == spec_ret => next_pc = t.pc + 2,
+                                _ => return Outcome::Fault(Fault::Cfi),
+                            }
+                        }
+                    }
+                }
+                MInst::MagicWord { value } => {
+                    return Outcome::Fault(Fault::ExecutedMagic { word: value });
+                }
+                MInst::Trap { code } => {
+                    return match code {
+                        trap::EXIT => Outcome::Exit(t.regs[RET_REG.index()] as i64),
+                        trap::CFI_FAIL => Outcome::Fault(Fault::Cfi),
+                        trap::DIV_ZERO => Outcome::Fault(Fault::DivZero),
+                        _ => Outcome::Fault(Fault::Abort),
+                    };
+                }
+            }
+            prev_was_muldiv = this_is_muldiv;
+            t.pc = next_pc;
+        }
+    }
+
+    fn inst_at_word(&self, word: u64) -> Option<usize> {
+        if word > u32::MAX as u64 {
+            return None;
+        }
+        self.image.word_to_inst.get(&(word as u32)).copied()
+    }
+
+    fn push_word(&mut self, t: &mut ThreadState, value: u64) -> Result<(), Fault> {
+        let rsp = t.regs[Reg::Rsp.index()] - 8;
+        t.regs[Reg::Rsp.index()] = rsp;
+        self.data_access(rsp);
+        self.memory.write(rsp, 8, value).map_err(Fault::Memory)
+    }
+
+    fn call_external(&mut self, t: &mut ThreadState, index: u16) -> Result<(), Fault> {
+        let Some(spec) = self.image.externs.get(index as usize).cloned() else {
+            return Err(Fault::UnknownExtern { index });
+        };
+        let args = [
+            t.regs[ARG_REGS[0].index()] as i64,
+            t.regs[ARG_REGS[1].index()] as i64,
+            t.regs[ARG_REGS[2].index()] as i64,
+            t.regs[ARG_REGS[3].index()] as i64,
+        ];
+        let strict = trusted::strict_for_scheme(self.image.scheme);
+        let mut ctx = TrustedCtx {
+            memory: &mut self.memory,
+            world: &mut self.world,
+            layout: &self.image.layout,
+            pub_heap: &mut self.pub_heap,
+            priv_heap: &mut self.priv_heap,
+            strict_regions: strict,
+        };
+        match trusted::call(&mut ctx, &spec.name, args) {
+            Ok(res) => {
+                t.regs[RET_REG.index()] = res.ret as u64;
+                self.stats.extern_calls += 1;
+                self.stats.extern_bytes += res.bytes_copied;
+                let mut cycles = self.opts.cost.extern_base
+                    + res.bytes_copied / 4 * self.opts.cost.extern_per_4_bytes;
+                if self.image.separate_trusted_memory {
+                    cycles += self.opts.cost.trusted_switch;
+                }
+                self.charge(cycles);
+                // All caller-saved registers are clobbered by the call (the
+                // wrapper clears them so no private value survives in a dead
+                // register, Section 4).
+                for r in confllvm_machine::CALLER_SAVED {
+                    if r != RET_REG {
+                        t.regs[r.index()] = 0;
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(Fault::Trusted(e)),
+        }
+    }
+}
+
+/// Convenience: compile-free helper for tests that already have a program.
+pub fn run_program(program: &Program, world: World) -> Result<RunResult, LoadError> {
+    let mut vm = Vm::new(program, VmOptions::default(), world)?;
+    Ok(vm.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confllvm_machine::program::FuncSym;
+    use confllvm_machine::{MagicPrefixes, Scheme};
+
+    /// Hand-assemble a tiny program: main() { return 41 + 1; }
+    fn tiny_program(scheme: Scheme) -> Program {
+        Program {
+            name: "tiny".into(),
+            insts: vec![
+                MInst::MovImm {
+                    dst: Reg::Rax,
+                    imm: 41,
+                },
+                MInst::Alu {
+                    op: AluOp::Add,
+                    dst: Reg::Rax,
+                    src: RegImm::Imm(1),
+                },
+                MInst::Ret,
+            ],
+            functions: vec![FuncSym {
+                name: "main".into(),
+                magic_word: None,
+                entry_word: 0,
+                arg_taints: [Taint::Private; 4],
+                ret_taint: Taint::Public,
+            }],
+            globals: vec![],
+            externs: vec![],
+            entry_function: 0,
+            prefixes: MagicPrefixes::test_defaults(),
+            scheme,
+            cfi: false,
+            separate_trusted_memory: false,
+            split_stacks: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runs_a_hand_assembled_program() {
+        let result = run_program(&tiny_program(Scheme::None), World::new()).unwrap();
+        assert_eq!(result.exit_code(), Some(42));
+        assert!(result.stats.instructions >= 3);
+        assert!(result.stats.cycles > 0);
+    }
+
+    #[test]
+    fn bound_check_faults_outside_region() {
+        let mut p = tiny_program(Scheme::Mpx);
+        // Check an address far outside the public region.
+        p.insts.insert(
+            0,
+            MInst::MovImm {
+                dst: Reg::Rcx,
+                imm: 0x10,
+            },
+        );
+        p.insts.insert(
+            1,
+            MInst::BndCheck {
+                bnd: confllvm_machine::BndReg::Bnd0,
+                mem: MemOperand::base(Reg::Rcx),
+                upper: false,
+            },
+        );
+        let result = run_program(&p, World::new()).unwrap();
+        assert!(matches!(
+            result.outcome,
+            Outcome::Fault(Fault::Bounds { .. })
+        ));
+    }
+
+    #[test]
+    fn guard_region_access_faults() {
+        let mut p = tiny_program(Scheme::Segment);
+        // Load from an unmapped address (below the public region).
+        p.insts.insert(
+            0,
+            MInst::MovImm {
+                dst: Reg::Rcx,
+                imm: 0x100,
+            },
+        );
+        p.insts.insert(
+            1,
+            MInst::Load {
+                dst: Reg::Rdx,
+                mem: MemOperand::base(Reg::Rcx),
+                size: 8,
+            },
+        );
+        let result = run_program(&p, World::new()).unwrap();
+        assert!(matches!(result.outcome, Outcome::Fault(Fault::Memory(_))));
+    }
+
+    #[test]
+    fn wall_cycles_aggregates_round_robin() {
+        let stats = ExecStats {
+            thread_cycles: vec![100, 100, 100, 100, 100],
+            ..Default::default()
+        };
+        assert_eq!(stats.wall_cycles(4), 200);
+        assert_eq!(stats.wall_cycles(8), 100);
+        assert_eq!(stats.wall_cycles(1), 500);
+    }
+
+    #[test]
+    fn executing_a_magic_word_faults() {
+        let prefixes = MagicPrefixes::test_defaults();
+        let mut p = tiny_program(Scheme::None);
+        p.insts.insert(
+            0,
+            MInst::MagicWord {
+                value: prefixes.call_word([Taint::Public; 4], Taint::Public),
+            },
+        );
+        // Entry still points at word 0, which now is the magic word.
+        let result = run_program(&p, World::new()).unwrap();
+        assert!(matches!(
+            result.outcome,
+            Outcome::Fault(Fault::ExecutedMagic { .. })
+        ));
+    }
+}

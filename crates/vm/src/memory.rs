@@ -1,0 +1,193 @@
+//! Sparse 64-bit memory with explicit mapped ranges.
+//!
+//! Only the usable parts of the public, private and trusted regions are
+//! mapped; everything else — in particular the guard areas between and around
+//! the regions (Figure 3a) — faults on access, exactly like the unmapped
+//! guard pages of the paper.
+
+use std::collections::HashMap;
+
+/// Page size used by the sparse backing store (simulation detail, not
+/// architectural).
+const PAGE_SIZE: u64 = 4096;
+
+/// A memory access fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemFault {
+    pub addr: u64,
+    pub len: u64,
+    pub write: bool,
+}
+
+impl std::fmt::Display for MemFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} fault at {:#x} (+{})",
+            if self.write { "write" } else { "read" },
+            self.addr,
+            self.len
+        )
+    }
+}
+
+/// Sparse memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    /// Mapped (accessible) address ranges, non-overlapping.
+    mapped: Vec<(u64, u64)>,
+}
+
+impl Memory {
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    /// Declare `[base, base+size)` accessible.
+    pub fn map_range(&mut self, base: u64, size: u64) {
+        self.mapped.push((base, base + size));
+    }
+
+    /// Is the whole access inside a mapped range?
+    pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        let end = addr.saturating_add(len);
+        self.mapped
+            .iter()
+            .any(|(lo, hi)| addr >= *lo && end <= *hi)
+    }
+
+    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Read `len` (1..=8) bytes, zero-extended into a u64.
+    pub fn read(&mut self, addr: u64, len: u64) -> Result<u64, MemFault> {
+        if !self.is_mapped(addr, len) {
+            return Err(MemFault {
+                addr,
+                len,
+                write: false,
+            });
+        }
+        let mut out = [0u8; 8];
+        for i in 0..len {
+            let a = addr + i;
+            let page = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            out[i as usize] = match self.pages.get(&page) {
+                Some(p) => p[off],
+                None => 0,
+            };
+        }
+        Ok(u64::from_le_bytes(out))
+    }
+
+    /// Write the low `len` bytes of `value`.
+    pub fn write(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemFault> {
+        if !self.is_mapped(addr, len) {
+            return Err(MemFault {
+                addr,
+                len,
+                write: true,
+            });
+        }
+        let bytes = value.to_le_bytes();
+        for i in 0..len {
+            let a = addr + i;
+            let page = a / PAGE_SIZE;
+            let off = (a % PAGE_SIZE) as usize;
+            self.page_mut(page)[off] = bytes[i as usize];
+        }
+        Ok(())
+    }
+
+    /// Bulk copy out of memory (used by the trusted library wrappers).
+    pub fn read_bytes(&mut self, addr: u64, len: u64) -> Result<Vec<u8>, MemFault> {
+        let mut v = Vec::with_capacity(len as usize);
+        for i in 0..len {
+            v.push(self.read(addr + i, 1)? as u8);
+        }
+        Ok(v)
+    }
+
+    /// Bulk copy into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write(addr + i as u64, 1, *b as u64)?;
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated string of at most `max` bytes.
+    pub fn read_cstring(&mut self, addr: u64, max: u64) -> Result<Vec<u8>, MemFault> {
+        let mut v = Vec::new();
+        for i in 0..max {
+            let b = self.read(addr + i, 1)? as u8;
+            if b == 0 {
+                break;
+            }
+            v.push(b);
+        }
+        Ok(v)
+    }
+
+    /// Number of distinct pages touched so far (a locality proxy reported in
+    /// statistics).
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        let mut m = Memory::new();
+        m.map_range(0x1000, 0x1000);
+        m
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut m = mem();
+        m.write(0x1000, 8, 0xdead_beef_cafe_f00d).unwrap();
+        assert_eq!(m.read(0x1000, 8).unwrap(), 0xdead_beef_cafe_f00d);
+        m.write(0x1100, 1, 0xab).unwrap();
+        assert_eq!(m.read(0x1100, 1).unwrap(), 0xab);
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let mut m = mem();
+        assert!(m.read(0x5000, 8).is_err());
+        assert!(m.write(0x0, 1, 1).is_err());
+        // An access straddling the end of the mapping also faults.
+        assert!(m.read(0x1ffc, 8).is_err());
+    }
+
+    #[test]
+    fn zero_initialised() {
+        let mut m = mem();
+        assert_eq!(m.read(0x1800, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn bulk_and_cstring_helpers() {
+        let mut m = mem();
+        m.write_bytes(0x1200, b"hello\0world").unwrap();
+        assert_eq!(m.read_cstring(0x1200, 64).unwrap(), b"hello");
+        assert_eq!(m.read_bytes(0x1200, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        m.map_range(0, 2 * 4096);
+        m.write(4090, 8, u64::MAX).unwrap();
+        assert_eq!(m.read(4090, 8).unwrap(), u64::MAX);
+    }
+}

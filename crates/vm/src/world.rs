@@ -1,0 +1,116 @@
+//! The external world the trusted library T mediates access to: the network,
+//! files, stored passwords, logs, and the declassified-output channel.
+//!
+//! Everything an attacker can observe is collected here (`sent`, `log`), so
+//! end-to-end confidentiality tests reduce to: run the program twice with
+//! different private state and compare the observable fields.
+
+use std::collections::{HashMap, VecDeque};
+
+/// The world state visible to / mutated by T functions.
+#[derive(Debug, Clone, Default)]
+pub struct World {
+    /// Incoming network messages (consumed by `recv`).
+    pub network_in: VecDeque<Vec<u8>>,
+    /// Bytes sent in clear on the network (`send`) — attacker-observable.
+    pub sent: Vec<u8>,
+    /// The log file (`log_write`) — attacker-observable.
+    pub log: Vec<u8>,
+    /// Public files (`read_file`).
+    pub files: HashMap<String, Vec<u8>>,
+    /// Private files (`read_file_secret`): served content, user data.
+    pub secret_files: HashMap<String, Vec<u8>>,
+    /// Stored per-user passwords (`read_passwd`).
+    pub passwords: HashMap<String, Vec<u8>>,
+    /// Values declassified through T (`declassify_result`).
+    pub declassified: Vec<i64>,
+    /// Toy symmetric key used by `encrypt`/`decrypt`/`encrypt_log`.
+    pub key: u8,
+    /// State of the deterministic `rng_next` generator.
+    pub rng_state: u64,
+    /// Monotonic counter returned by `get_time`.
+    pub time: i64,
+}
+
+impl World {
+    pub fn new() -> Self {
+        World {
+            key: 0x5a,
+            rng_state: 0x9e3779b97f4a7c15,
+            ..Default::default()
+        }
+    }
+
+    /// Queue an incoming network message.
+    pub fn push_request(&mut self, bytes: &[u8]) {
+        self.network_in.push_back(bytes.to_vec());
+    }
+
+    pub fn add_file(&mut self, name: &str, contents: &[u8]) {
+        self.files.insert(name.to_string(), contents.to_vec());
+    }
+
+    pub fn add_secret_file(&mut self, name: &str, contents: &[u8]) {
+        self.secret_files.insert(name.to_string(), contents.to_vec());
+    }
+
+    pub fn set_password(&mut self, user: &str, password: &[u8]) {
+        self.passwords.insert(user.to_string(), password.to_vec());
+    }
+
+    /// The attacker-observable trace: everything that left U in clear.
+    pub fn observable(&self) -> Vec<u8> {
+        let mut v = self.sent.clone();
+        v.extend_from_slice(&self.log);
+        v
+    }
+
+    /// Toy stream "encryption" (xor with the key) used by the T crypto
+    /// routines; its only purpose is to make declassified bytes differ from
+    /// the raw private bytes so leak tests can tell the difference.
+    pub fn xor_crypt(&self, data: &[u8]) -> Vec<u8> {
+        data.iter().map(|b| b ^ self.key).collect()
+    }
+
+    /// Deterministic xorshift generator for workload inputs.
+    pub fn next_rand(&mut self) -> i64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        (x & 0x7fff_ffff_ffff_ffff) as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observable_concatenates_public_channels() {
+        let mut w = World::new();
+        w.sent.extend_from_slice(b"response");
+        w.log.extend_from_slice(b"logline");
+        assert_eq!(w.observable(), b"responselogline");
+    }
+
+    #[test]
+    fn xor_crypt_is_involutive_and_nontrivial() {
+        let w = World::new();
+        let data = b"secret".to_vec();
+        let enc = w.xor_crypt(&data);
+        assert_ne!(enc, data);
+        assert_eq!(w.xor_crypt(&enc), data);
+    }
+
+    #[test]
+    fn rand_is_deterministic() {
+        let mut a = World::new();
+        let mut b = World::new();
+        let xs: Vec<i64> = (0..5).map(|_| a.next_rand()).collect();
+        let ys: Vec<i64> = (0..5).map(|_| b.next_rand()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().all(|v| *v >= 0));
+    }
+}

@@ -1,0 +1,64 @@
+//! ConfVerify in action: verify a freshly compiled binary, then tamper with
+//! its instrumentation (as a buggy or malicious compiler might) and watch the
+//! verifier reject it — the property that removes the compiler from the TCB
+//! (Section 5.2).
+//!
+//! ```text
+//! cargo run --example verify_binary
+//! ```
+
+use confllvm_repro::core::{compile_for, Config};
+use confllvm_repro::machine::{BndReg, MInst};
+use confllvm_repro::verify::verify;
+
+const SOURCE: &str = r#"
+    extern void read_passwd(char *u, private char *p, int n);
+    extern void encrypt(private char *src, char *dst, int n);
+    extern int send(int fd, char *buf, int n);
+
+    private int digest(private char *p, int n) {
+        int i;
+        int d = 0;
+        for (i = 0; i < n; i = i + 1) { d = d * 131 + p[i]; }
+        return d;
+    }
+
+    int main() {
+        char user[4];
+        user[0] = 'u'; user[1] = 0;
+        char pw[24];
+        read_passwd(user, pw, 24);
+        private int d = digest(pw, 24);
+        char out[24];
+        encrypt(pw, out, 24);
+        send(1, out, 24);
+        return 0;
+    }
+"#;
+
+fn main() {
+    let compiled = compile_for(SOURCE, Config::OurMpx).expect("compiles");
+    let report = verify(&compiled.binary()).expect("pristine binary verifies");
+    println!(
+        "pristine binary: {} procedures, {} instructions checked, {} stores checked — ACCEPTED",
+        report.procedures, report.instructions_checked, report.stores_checked
+    );
+
+    // Tamper: remove every private-region bound check.
+    let mut tampered = compiled.program.clone();
+    let mut dropped = 0;
+    for inst in &mut tampered.insts {
+        if matches!(inst, MInst::BndCheck { bnd: BndReg::Bnd1, .. }) {
+            *inst = MInst::Nop;
+            dropped += 1;
+        }
+    }
+    println!("tampering: dropped {dropped} private-region bound checks");
+    match verify(&tampered.encode()) {
+        Err(errors) => {
+            println!("tampered binary REJECTED with {} error(s), e.g.:", errors.len());
+            println!("  {}", errors[0]);
+        }
+        Ok(_) => panic!("the tampered binary must not verify"),
+    }
+}

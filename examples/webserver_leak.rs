@@ -1,0 +1,89 @@
+//! The paper's Figure 1 story: a web server that accidentally sends the
+//! password buffer to the log.  ConfLLVM's qualifier inference flags the bug
+//! at compile time; after the fix the program compiles and runs with the
+//! password protected.
+//!
+//! ```text
+//! cargo run --example webserver_leak
+//! ```
+
+use confllvm_repro::core::{compile_and_run, compile_for, CompileError, Config};
+use confllvm_repro::vm::World;
+
+const BUGGY: &str = r#"
+    extern int  recv(int fd, char *buf, int size);
+    extern int  send(int fd, char *buf, int size);
+    extern void read_passwd(char *uname, private char *pass, int size);
+    extern void decrypt(char *src, private char *dst, int size);
+    extern void encrypt(private char *src, char *dst, int size);
+    extern int  read_file(char *name, char *out, int size);
+
+    int authenticate(char *uname, private char *upass, private char *pass) {
+        int i;
+        int diff = 0;
+        for (i = 0; i < 16; i = i + 1) { diff = diff | (upass[i] ^ pass[i]); }
+        // The (private) comparison result is declassified implicitly by the
+        // trusted password checker in a real deployment; here we just return
+        // the number of requests processed and keep control flow public.
+        return 0;
+    }
+
+    void handleReq(char *uname, private char *upasswd, char *fname, char *out, int out_size) {
+        char passwd[512];
+        char fcontents[512];
+        read_passwd(uname, passwd, 512);
+        authenticate(uname, upasswd, passwd);
+        // BUG (line flagged by ConfLLVM): the clear-text password buffer is
+        // written to the public log channel.
+        send(2, passwd, 512);
+        read_file(fname, fcontents, 512);
+        int i;
+        for (i = 0; i < out_size; i = i + 1) { out[i] = fcontents[i % 512]; }
+    }
+
+    char reqbuf[1024];
+    char outbuf[1024];
+
+    int main() {
+        recv(0, reqbuf, 1024);
+        char upasswd[64];
+        decrypt(reqbuf, upasswd, 64);
+        handleReq(reqbuf, upasswd, reqbuf + 64, outbuf, 256);
+        send(1, outbuf, 256);
+        return 0;
+    }
+"#;
+
+fn main() {
+    // 1. The buggy version is rejected at compile time.
+    match compile_for(BUGGY, Config::OurSeg) {
+        Err(CompileError::Taint(errors)) => {
+            println!("ConfLLVM rejected the buggy server with {} error(s):", errors.len());
+            for e in &errors {
+                println!("  {e}");
+            }
+        }
+        other => panic!("expected a compile-time taint error, got {other:?}"),
+    }
+
+    // 2. Fix the bug (drop the offending send) and the server compiles and
+    //    serves the request with the password confined to the private region.
+    let fixed = BUGGY.replace("send(2, passwd, 512);", "");
+    let mut world = World::new();
+    world.set_password("", b"swordfish-swordfish");
+    world.push_request(b"alice\0 payload goes here");
+    world.add_file("", b"public file contents ............");
+    let (result, world_after) =
+        compile_and_run(&fixed, Config::OurSeg, world).expect("fixed server compiles");
+    println!(
+        "fixed server: exit={:?}, {} cycles, {} bytes sent",
+        result.exit_code(),
+        result.stats.cycles,
+        world_after.sent.len()
+    );
+    assert!(!world_after
+        .observable()
+        .windows(9)
+        .any(|w| w == b"swordfish"));
+    println!("password never left the server in clear ✓");
+}

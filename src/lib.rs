@@ -1,0 +1,15 @@
+//! Umbrella crate for the ConfLLVM reproduction.
+//!
+//! Re-exports the public entry points of each workspace crate so that the
+//! examples under `examples/` and the integration tests under `tests/` can
+//! use one coherent namespace.
+
+pub use confllvm_codegen as codegen;
+pub use confllvm_core as core;
+pub use confllvm_formal as formal;
+pub use confllvm_ir as ir;
+pub use confllvm_machine as machine;
+pub use confllvm_minic as minic;
+pub use confllvm_verify as verify;
+pub use confllvm_vm as vm;
+pub use confllvm_workloads as workloads;

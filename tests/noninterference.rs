@@ -1,0 +1,91 @@
+//! Experiment E9 (end-to-end): two-run non-interference.  Running the same
+//! protected program against worlds that differ only in their private state
+//! must produce identical attacker-observable output (Theorem 1 lifted to the
+//! whole toolchain + simulator).
+
+use confllvm_repro::core::{compile_for, vm_for, Config};
+use confllvm_repro::vm::World;
+use confllvm_repro::workloads::{nginx, privado};
+
+fn observable_for(source: &str, config: Config, world: World, entry: &str, args: &[i64]) -> Vec<u8> {
+    let compiled = compile_for(source, config).expect("compiles");
+    let mut vm = vm_for(&compiled, world).expect("loads");
+    let result = vm.run_function(entry, args);
+    assert!(!result.outcome.is_fault(), "{:?}", result.outcome);
+    vm.world.observable()
+}
+
+#[test]
+fn nginx_observable_output_is_independent_of_private_file_content() {
+    // Two worlds with different private file contents (same length).
+    let make_world = |fill: u8| {
+        let mut w = World::new();
+        w.add_secret_file("doc", &vec![fill; 2048]);
+        for _ in 0..2 {
+            w.push_request(b"GET doc\0");
+        }
+        w
+    };
+    for config in [Config::OurMpx, Config::OurSeg] {
+        let a = observable_for(nginx::SOURCE, config, make_world(0x11), "serve", &[2, 1024]);
+        let b = observable_for(nginx::SOURCE, config, make_world(0x77), "serve", &[2, 1024]);
+        // The *declassified* (encrypted) payload differs, so we compare only
+        // lengths and the log structure here…
+        assert_eq!(a.len(), b.len(), "observable length must not depend on secrets");
+        // …and, crucially, neither run contains the raw secret bytes.
+        assert!(!a.windows(32).any(|w| w == [0x11u8; 32]));
+        assert!(!b.windows(32).any(|w| w == [0x77u8; 32]));
+    }
+}
+
+#[test]
+fn password_checker_public_outputs_agree_across_secrets() {
+    // A program whose public behaviour is fully determined by public inputs:
+    // the password is read, digested privately, and only a constant goes out.
+    let src = r#"
+        extern void read_passwd(char *u, private char *p, int n);
+        extern int send(int fd, char *buf, int n);
+        char banner[16];
+        int main() {
+            char user[4];
+            user[0] = 'u'; user[1] = 0;
+            char pw[32];
+            read_passwd(user, pw, 32);
+            private int acc = 0;
+            int i;
+            for (i = 0; i < 32; i = i + 1) { acc = acc + pw[i]; }
+            banner[0] = 'o'; banner[1] = 'k';
+            send(1, banner, 2);
+            return 0;
+        }
+    "#;
+    for config in [Config::OurMpx, Config::OurSeg] {
+        let mut w1 = World::new();
+        w1.set_password("u", b"alpha-secret-000");
+        let mut w2 = World::new();
+        w2.set_password("u", b"omega-secret-999");
+        let a = observable_for(src, config, w1, "main", &[]);
+        let b = observable_for(src, config, w2, "main", &[]);
+        assert_eq!(a, b, "public output diverged under {config}");
+    }
+}
+
+#[test]
+fn privado_declassified_result_is_the_only_secret_dependent_output() {
+    let compiled = compile_for(privado::SOURCE, Config::OurMpx).expect("compiles");
+    let mut mk = |fill: u8| {
+        let mut w = World::new();
+        w.add_secret_file("image", &vec![fill; 3072]);
+        let mut vm = vm_for(&compiled, w).expect("loads");
+        let r = vm.run_function("classify", &[1]);
+        assert!(!r.outcome.is_fault());
+        (vm.world.sent.clone(), vm.world.declassified.clone())
+    };
+    let (sent_a, decl_a) = mk(1);
+    let (sent_b, decl_b) = mk(9);
+    // The classification result (deliberately declassified) may differ…
+    assert_ne!(decl_a, decl_b);
+    // …but the only bytes on the wire are those declassified values.
+    assert_eq!(sent_a.len(), 8 * decl_a.len());
+    assert_eq!(sent_b.len(), 8 * decl_b.len());
+}
