@@ -1,8 +1,8 @@
 //! Ablation: the cost of the taint-aware CFI alone (OurCFI vs OurBare), the
 //! delta the paper reports as ~3.6% on average for SPEC.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confllvm_core::Config;
 use confllvm_workloads::spec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_cfi(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_cfi");

@@ -4,8 +4,8 @@
 use confllvm_core::codegen::{compile_module_with_entry, MpxOptimizations};
 use confllvm_core::ir::{infer, lower, InferOptions, PassOptions};
 use confllvm_core::minic::{parse, Sema};
-use confllvm_core::Config;
 use confllvm_core::vm::{Vm, VmOptions, World};
+use confllvm_core::Config;
 use confllvm_workloads::spec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 

@@ -1,7 +1,7 @@
 //! Figure 5: SPEC CPU stand-in kernels under the evaluation configurations.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confllvm_core::Config;
 use confllvm_workloads::spec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_spec(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_spec");

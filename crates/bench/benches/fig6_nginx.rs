@@ -1,7 +1,7 @@
 //! Figure 6: NGINX stand-in throughput across response sizes.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confllvm_core::Config;
 use confllvm_workloads::nginx;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_nginx(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_nginx");

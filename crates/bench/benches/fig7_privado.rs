@@ -1,15 +1,17 @@
 //! Figure 7: Privado stand-in classification latency inside the "enclave".
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confllvm_core::Config;
 use confllvm_workloads::privado;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_privado(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_privado");
     group.sample_size(10);
     for config in Config::FIG7 {
-        group.bench_with_input(BenchmarkId::new("classify", config.name()), &config, |b, cfg| {
-            b.iter(|| privado::run(*cfg, 1).cycles())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("classify", config.name()),
+            &config,
+            |b, cfg| b.iter(|| privado::run(*cfg, 1).cycles()),
+        );
     }
     group.finish();
 }

@@ -1,7 +1,7 @@
 //! Figure 8: Merkle-tree FS stand-in, scaling with reader threads.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confllvm_core::Config;
 use confllvm_workloads::merkle;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_merkle(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8_merkle");

@@ -1,18 +1,16 @@
 //! Section 7.3: OpenLDAP stand-in, hit and miss query workloads.
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use confllvm_core::Config;
 use confllvm_workloads::ldap;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_ldap(c: &mut Criterion) {
     let mut group = c.benchmark_group("ldap");
     group.sample_size(10);
     for (label, hit) in [("miss", false), ("hit", true)] {
         for config in [Config::Base, Config::OurMpx] {
-            group.bench_with_input(
-                BenchmarkId::new(label, config.name()),
-                &config,
-                |b, cfg| b.iter(|| ldap::run(*cfg, 64, 64, hit).cycles()),
-            );
+            group.bench_with_input(BenchmarkId::new(label, config.name()), &config, |b, cfg| {
+                b.iter(|| ldap::run(*cfg, 64, 64, hit).cycles())
+            });
         }
     }
     group.finish();

@@ -33,7 +33,10 @@ impl Figure {
     /// Render as an aligned text table.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("== {} — {} ({})\n", self.id, self.title, self.metric));
+        out.push_str(&format!(
+            "== {} — {} ({})\n",
+            self.id, self.title, self.metric
+        ));
         if let Some(first) = self.rows.first() {
             out.push_str(&format!("{:<18}", ""));
             for (c, _) in &first.values {
@@ -201,7 +204,9 @@ pub fn vuln_table() -> String {
                 "LEAKED".to_string()
             } else {
                 match &o.outcome {
-                    Some(confllvm_vm::Outcome::Fault(f)) => format!("stopped at runtime ({f})"),
+                    Some(confllvm_core::vm::Outcome::Fault(f)) => {
+                        format!("stopped at runtime ({f})")
+                    }
                     _ => "no leak".to_string(),
                 }
             };

@@ -9,8 +9,24 @@
 
 use confllvm_bench::*;
 
+const KNOWN_FLAGS: [&str; 8] = [
+    "--fig5",
+    "--fig6",
+    "--ldap",
+    "--fig7",
+    "--fig8",
+    "--vuln",
+    "--porting",
+    "--quick",
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(bad) = args.iter().find(|a| !KNOWN_FLAGS.contains(&a.as_str())) {
+        eprintln!("error: unknown flag `{bad}`");
+        eprintln!("usage: repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--quick]");
+        std::process::exit(2);
+    }
     let all = args.is_empty() || args.iter().all(|a| a == "--quick");
     let quick = args.iter().any(|a| a == "--quick");
     let want = |flag: &str| all || args.iter().any(|a| a == flag);
@@ -41,7 +57,10 @@ fn main() {
         println!("{}", fig7_privado(privado_images).render());
     }
     if want("--fig8") {
-        println!("{}", fig8_merkle(merkle_blocks, 1024, merkle_threads).render());
+        println!(
+            "{}",
+            fig8_merkle(merkle_blocks, 1024, merkle_threads).render()
+        );
     }
     if want("--vuln") {
         println!("{}", vuln_table());

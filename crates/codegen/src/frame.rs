@@ -65,7 +65,7 @@ impl FrameLayout {
         layout.outgoing_args_bytes = (max_extra_args as u32) * 8;
 
         let mut offset = layout.outgoing_args_bytes as i32;
-        let mut reserve = |bytes: u32, offset: &mut i32| {
+        let reserve = |bytes: u32, offset: &mut i32| {
             let off = *offset;
             let aligned = bytes.div_ceil(8) * 8;
             *offset += aligned as i32;

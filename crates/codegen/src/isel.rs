@@ -10,9 +10,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use confllvm_ir::{
-    BinOp, CmpOp, Function, Inst, MemSize, Module, Operand, Terminator, ValueId,
-};
+use confllvm_ir::{BinOp, CmpOp, Function, Inst, MemSize, Module, Operand, Terminator, ValueId};
 use confllvm_machine::{
     trap, AluOp, BndReg, Cond, MInst, MemOperand, MemoryLayout, Reg, RegImm, Scheme, Seg, Taint,
     ARG_REGS, RET_REG, SCRATCH0, SCRATCH1, SCRATCH2,
@@ -26,18 +24,12 @@ use crate::options::CodegenOptions;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MagicPatch {
     /// `MagicWord` at a procedure entry: `MCall ++ taint bits`.
-    CallMagic {
-        args: [Taint; 4],
-        ret: Taint,
-    },
+    CallMagic { args: [Taint; 4], ret: Taint },
     /// `MagicWord` at a valid return site: `MRet ++ taint bit`.
     RetMagic { ret: Taint },
     /// `MovImm` of the *bitwise negation* of a call magic word (indirect-call
     /// check).
-    NotCallMagic {
-        args: [Taint; 4],
-        ret: Taint,
-    },
+    NotCallMagic { args: [Taint; 4], ret: Taint },
     /// `MovImm` of the negation of a return-site magic word (return check).
     NotRetMagic { ret: Taint },
 }
@@ -92,7 +84,7 @@ pub fn compile_function(
 ) -> Result<CompiledFunction, CodegenError> {
     let layout = MemoryLayout::new(opts.scheme, opts.split_stacks, opts.separate_trusted_memory);
     let frame = FrameLayout::build(f, opts);
-    let mut c = FnCompiler {
+    let c = FnCompiler {
         module,
         f,
         opts,
@@ -181,7 +173,13 @@ impl<'a> FnCompiler<'a> {
 
     /// Emit an (optionally checked) stack access.  Stack accesses are exempt
     /// from MPX checks when the `_chkstk` optimisation is on.
-    fn emit_stack_access(&mut self, mem: MemOperand, taint: Taint, store_from: Option<Reg>, load_to: Option<Reg>) {
+    fn emit_stack_access(
+        &mut self,
+        mem: MemOperand,
+        taint: Taint,
+        store_from: Option<Reg>,
+        load_to: Option<Reg>,
+    ) {
         if self.opts.scheme == Scheme::Mpx && !self.opts.mpx.skip_stack_checks {
             let bnd = if taint == Taint::Private && self.opts.split_stacks {
                 BndReg::Bnd1
@@ -224,10 +222,10 @@ impl<'a> FnCompiler<'a> {
             });
             return;
         }
-        let slot = self
-            .frame
-            .slot(v)
-            .unwrap_or(crate::frame::Slot { offset: 0, taint: Taint::Public });
+        let slot = self.frame.slot(v).unwrap_or(crate::frame::Slot {
+            offset: 0,
+            taint: Taint::Public,
+        });
         let mem = self.stack_mem(slot.offset, slot.taint);
         self.emit_stack_access(mem, slot.taint, None, Some(dst));
     }
@@ -238,10 +236,10 @@ impl<'a> FnCompiler<'a> {
             // Allocas are never re-assigned; nothing to do.
             return;
         }
-        let slot = self
-            .frame
-            .slot(v)
-            .unwrap_or(crate::frame::Slot { offset: 0, taint: Taint::Public });
+        let slot = self.frame.slot(v).unwrap_or(crate::frame::Slot {
+            offset: 0,
+            taint: Taint::Public,
+        });
         let mem = self.stack_mem(slot.offset, slot.taint);
         self.emit_stack_access(mem, slot.taint, Some(src), None);
     }
@@ -277,7 +275,13 @@ impl<'a> FnCompiler<'a> {
 
     /// Build the memory operand (and emit the scheme's checks) for a
     /// user-level access of the given region taint.
-    fn user_mem(&mut self, base_reg: Reg, disp: i32, region: Taint, addr_key: Operand) -> MemOperand {
+    fn user_mem(
+        &mut self,
+        base_reg: Reg,
+        disp: i32,
+        region: Taint,
+        addr_key: Operand,
+    ) -> MemOperand {
         match self.opts.scheme {
             Scheme::None => MemOperand::base_disp(base_reg, disp),
             Scheme::Segment => {

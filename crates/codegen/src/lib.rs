@@ -58,7 +58,10 @@ mod tests {
         assert_eq!(report.bound_checks, 0);
         assert_eq!(report.cfi_checks, 0);
         assert_eq!(report.magic_words, 0);
-        assert!(p.insts.iter().all(|i| !matches!(i, MInst::MagicWord { .. })));
+        assert!(p
+            .insts
+            .iter()
+            .all(|i| !matches!(i, MInst::MagicWord { .. })));
         assert!(p.insts.iter().any(|i| matches!(i, MInst::Ret)));
     }
 
@@ -85,10 +88,7 @@ mod tests {
     fn mpx_emits_bound_checks_for_user_accesses() {
         let (p, report) = compile(PRIVATE_BUF, &CodegenOptions::mpx());
         assert!(report.bound_checks > 0);
-        assert!(p
-            .insts
-            .iter()
-            .any(|i| matches!(i, MInst::BndCheck { .. })));
+        assert!(p.insts.iter().any(|i| matches!(i, MInst::BndCheck { .. })));
     }
 
     #[test]
@@ -135,9 +135,10 @@ mod tests {
         assert_ne!(main.entry_word, add.entry_word);
         assert_eq!(p.entry_function, 1, "main is the second function");
         // Direct call targets must point at add's entry word.
-        assert!(p.insts.iter().any(
-            |i| matches!(i, MInst::CallDirect { target } if *target == add.entry_word)
-        ));
+        assert!(p
+            .insts
+            .iter()
+            .any(|i| matches!(i, MInst::CallDirect { target } if *target == add.entry_word)));
     }
 
     #[test]

@@ -5,10 +5,10 @@
 use std::collections::HashMap;
 
 use confllvm_ir::Module;
+use confllvm_machine::program::{ExternSpec, FuncSym, GlobalSpec};
 use confllvm_machine::{
     encoded_len, find_unique_prefixes, MInst, MagicPrefixes, Program, Scheme, Taint,
 };
-use confllvm_machine::program::{ExternSpec, FuncSym, GlobalSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -105,8 +105,8 @@ pub fn compile_module_with_entry(
             let local_idx = cf.labels[label as usize];
             word_of[start + local_idx]
         };
-        for gi in start..end {
-            match &mut resolved[gi] {
+        for inst in &mut resolved[start..end] {
+            match inst {
                 MInst::Jmp { target } => *target = label_word(*target),
                 MInst::Jcc { target, .. } => *target = label_word(*target),
                 MInst::CallDirect { target } => {
@@ -121,7 +121,7 @@ pub fn compile_module_with_entry(
                     let word = functions[callee]
                         .magic_word
                         .unwrap_or(functions[callee].entry_word);
-                    resolved[gi] = MInst::MovImm {
+                    *inst = MInst::MovImm {
                         dst: *dst,
                         imm: word as i64,
                     };
@@ -179,7 +179,12 @@ pub fn compile_module_with_entry(
         // words themselves may carry either prefix.
         let magic_positions: std::collections::HashSet<u32> = patches
             .iter()
-            .filter(|(_, p)| matches!(p, MagicPatch::CallMagic { .. } | MagicPatch::RetMagic { .. }))
+            .filter(|(_, p)| {
+                matches!(
+                    p,
+                    MagicPatch::CallMagic { .. } | MagicPatch::RetMagic { .. }
+                )
+            })
             .map(|(idx, _)| word_of[*idx])
             .collect();
         let mut ok = true;
@@ -235,7 +240,12 @@ pub fn compile_module_with_entry(
         cfi_checks: compiled.iter().map(|c| c.cfi_checks).sum(),
         magic_words: patches
             .iter()
-            .filter(|(_, p)| matches!(p, MagicPatch::CallMagic { .. } | MagicPatch::RetMagic { .. }))
+            .filter(|(_, p)| {
+                matches!(
+                    p,
+                    MagicPatch::CallMagic { .. } | MagicPatch::RetMagic { .. }
+                )
+            })
             .count(),
         prefix_attempts: attempts,
     };

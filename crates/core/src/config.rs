@@ -178,7 +178,12 @@ mod tests {
 
     #[test]
     fn figure_config_lists_are_subsets_of_all() {
-        for c in Config::FIG5.iter().chain(&Config::FIG6).chain(&Config::FIG7).chain(&Config::FIG8) {
+        for c in Config::FIG5
+            .iter()
+            .chain(&Config::FIG6)
+            .chain(&Config::FIG7)
+            .chain(&Config::FIG8)
+        {
             assert!(Config::ALL.contains(c));
         }
     }

@@ -19,7 +19,7 @@ pub mod pipeline;
 
 pub use config::Config;
 pub use pipeline::{
-    compile, compile_and_run, compile_for, vm_for, Compiled, CompileError, CompileOptions,
+    compile, compile_and_run, compile_for, vm_for, CompileError, CompileOptions, Compiled,
 };
 
 // Re-exports so downstream crates (workloads, benches, examples) can use one

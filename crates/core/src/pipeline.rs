@@ -125,8 +125,8 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileE
     )
     .map_err(CompileError::Taint)?;
     let cg_opts = opts.config.codegen_options();
-    let (program, cg_report) = compile_module_with_entry(&module, &cg_opts, &opts.entry)
-        .map_err(CompileError::Codegen)?;
+    let (program, cg_report) =
+        compile_module_with_entry(&module, &cg_opts, &opts.entry).map_err(CompileError::Codegen)?;
     Ok(Compiled {
         program,
         report: cg_report,
@@ -230,14 +230,19 @@ mod tests {
         let mut world = World::new();
         world.set_password("a", b"hunter2");
         for config in [Config::OurMpx, Config::OurSeg] {
-            let (result, world_after) =
-                compile_and_run(src, config, world.clone()).unwrap();
-            assert_eq!(result.exit_code(), Some(0), "under {config}: {:?}", result.outcome);
+            let (result, world_after) = compile_and_run(src, config, world.clone()).unwrap();
+            assert_eq!(
+                result.exit_code(),
+                Some(0),
+                "under {config}: {:?}",
+                result.outcome
+            );
             // The password must not appear in clear in the observable output.
             let observable = world_after.observable();
-            assert!(!observable
-                .windows(7)
-                .any(|w| w == b"hunter2"), "password leaked under {config}");
+            assert!(
+                !observable.windows(7).any(|w| w == b"hunter2"),
+                "password leaked under {config}"
+            );
             assert!(!world_after.sent.is_empty());
         }
     }
@@ -272,7 +277,12 @@ mod tests {
         ";
         for config in [Config::Base, Config::OurCFI, Config::OurMpx, Config::OurSeg] {
             let (result, _) = compile_and_run(src, config, World::new()).unwrap();
-            assert_eq!(result.exit_code(), Some(50), "under {config}: {:?}", result.outcome);
+            assert_eq!(
+                result.exit_code(),
+                Some(50),
+                "under {config}: {:?}",
+                result.outcome
+            );
         }
     }
 
@@ -291,14 +301,23 @@ mod tests {
         ";
         for config in [Config::Base, Config::OurMpx, Config::OurSeg] {
             let (result, _) = compile_and_run(src, config, World::new()).unwrap();
-            assert_eq!(result.exit_code(), Some(42), "under {config}: {:?}", result.outcome);
+            assert_eq!(
+                result.exit_code(),
+                Some(42),
+                "under {config}: {:?}",
+                result.outcome
+            );
         }
     }
 
     #[test]
     fn instrumented_runs_cost_more_cycles() {
-        let base = compile_and_run(ARITH, Config::Base, World::new()).unwrap().0;
-        let mpx = compile_and_run(ARITH, Config::OurMpx, World::new()).unwrap().0;
+        let base = compile_and_run(ARITH, Config::Base, World::new())
+            .unwrap()
+            .0;
+        let mpx = compile_and_run(ARITH, Config::OurMpx, World::new())
+            .unwrap()
+            .0;
         assert!(mpx.cycles() >= base.cycles());
     }
 
@@ -312,7 +331,12 @@ mod tests {
         ";
         for config in [Config::Base, Config::OurCFI, Config::OurMpx, Config::OurSeg] {
             let (result, _) = compile_and_run(src, config, World::new()).unwrap();
-            assert_eq!(result.exit_code(), Some(21), "under {config}: {:?}", result.outcome);
+            assert_eq!(
+                result.exit_code(),
+                Some(21),
+                "under {config}: {:?}",
+                result.outcome
+            );
         }
     }
 

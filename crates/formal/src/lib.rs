@@ -64,13 +64,25 @@ impl Exp {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Cmd {
     /// `ldr(reg, e)`: load from the memory named by `e`'s label-region.
-    Ldr { reg: usize, addr: Exp, region: Label },
+    Ldr {
+        reg: usize,
+        addr: Exp,
+        region: Label,
+    },
     /// `str(reg, e)`.
-    Str { reg: usize, addr: Exp, region: Label },
+    Str {
+        reg: usize,
+        addr: Exp,
+        region: Label,
+    },
     /// `reg := e`.
     Mov { reg: usize, exp: Exp },
     /// `ifthenelse(e, goto a, goto b)`.
-    If { cond: Exp, then_pc: usize, else_pc: usize },
+    If {
+        cond: Exp,
+        then_pc: usize,
+        else_pc: usize,
+    },
     /// `goto(pc)`.
     Goto(usize),
     /// `ret` (halts the program in this model).
@@ -333,8 +345,8 @@ mod tests {
             prop_assert_eq!(&fa.mem_low, &fb.mem_low, "low memory diverged");
             // Low registers agree as well (public-equivalence).
             let g = gamma();
-            for r in 0..NREGS {
-                if g[r] == Label::L {
+            for (r, label) in g.iter().enumerate() {
+                if *label == Label::L {
                     prop_assert_eq!(fa.regs[r], fb.regs[r]);
                 }
             }
@@ -392,7 +404,10 @@ mod tests {
             ],
             gammas: vec![gamma(); 3],
         };
-        assert!(!well_typed(&prog), "the leak must be rejected by the type system");
+        assert!(
+            !well_typed(&prog),
+            "the leak must be rejected by the type system"
+        );
         // And indeed it breaks non-interference when run.
         let mut a = Config::new(NREGS);
         let mut b = Config::new(NREGS);

@@ -169,12 +169,7 @@ impl FunctionBuilder {
         });
     }
 
-    pub fn bin(
-        &mut self,
-        op: BinOp,
-        lhs: impl Into<Operand>,
-        rhs: impl Into<Operand>,
-    ) -> ValueId {
+    pub fn bin(&mut self, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> ValueId {
         let dst = self.new_value(None);
         self.push(Inst::Bin {
             dst,
@@ -185,12 +180,7 @@ impl FunctionBuilder {
         dst
     }
 
-    pub fn cmp(
-        &mut self,
-        op: CmpOp,
-        lhs: impl Into<Operand>,
-        rhs: impl Into<Operand>,
-    ) -> ValueId {
+    pub fn cmp(&mut self, op: CmpOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> ValueId {
         let dst = self.new_value(None);
         self.push(Inst::Cmp {
             dst,

@@ -188,7 +188,13 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
             self.scopes
                 .last_mut()
                 .expect("scope stack never empty")
-                .insert(p.name.clone(), LocalSlot { addr: slot, ty: pty });
+                .insert(
+                    p.name.clone(),
+                    LocalSlot {
+                        addr: slot,
+                        ty: pty,
+                    },
+                );
         }
         self.lower_block(&self.func.body)?;
         // Fall-through return for void functions (and a defensive `return 0`
@@ -416,9 +422,7 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
             }
             ExprKind::Ident(name) => {
                 // Function names used as values become function pointers.
-                if self.lookup_local(name).is_none()
-                    && !self.sema().globals.contains_key(name)
-                {
+                if self.lookup_local(name).is_none() && !self.sema().globals.contains_key(name) {
                     if let Some(sig) = self.sema().signature(name) {
                         let v = self.b.func_addr(name);
                         return Ok((
@@ -475,7 +479,8 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
                 // loophole the Minizip experiment (Section 7.6) exploits and
                 // that the runtime checks close.
                 if ty.is_pointer() {
-                    self.b_value_info(dst).set_declared_pointee(ty.deref_taint());
+                    self.b_value_info(dst)
+                        .set_declared_pointee(ty.deref_taint());
                 }
                 Ok((dst.into(), ty.clone()))
             }
@@ -501,7 +506,8 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
         // Pointer-typed loads from arbitrary memory carry their static
         // pointee taint as a pin (see crate::taint).
         if ty.is_pointer() || ty.is_func_ptr() {
-            self.b_value_info(dst).set_declared_pointee(ty.deref_taint());
+            self.b_value_info(dst)
+                .set_declared_pointee(ty.deref_taint());
         }
         if ty.taint == Taint::Private {
             self.b_value_info(dst).set_declared_taint(Taint::Private);
@@ -530,11 +536,7 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
         let bop = ast_bin(op);
         // Pointer arithmetic: scale the integer operand by the element size.
         let (lv, rv, result_ty) = if lt.decay().is_pointer() && rt.is_integer() {
-            let elem = lt
-                .decay()
-                .pointee()
-                .cloned()
-                .unwrap_or_else(Type::char);
+            let elem = lt.decay().pointee().cloned().unwrap_or_else(Type::char);
             let esize = self.sema().size_of(&elem, span)?.max(1);
             let scaled = if esize == 1 {
                 rv
@@ -543,11 +545,7 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
             };
             (lv, scaled, lt.decay())
         } else if rt.decay().is_pointer() && lt.is_integer() && bop == BinOp::Add {
-            let elem = rt
-                .decay()
-                .pointee()
-                .cloned()
-                .unwrap_or_else(Type::char);
+            let elem = rt.decay().pointee().cloned().unwrap_or_else(Type::char);
             let esize = self.sema().size_of(&elem, span)?.max(1);
             let scaled = if esize == 1 {
                 lv
@@ -624,7 +622,8 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
                     };
                     if let Some(d) = dst {
                         if sig.ret.is_pointer() {
-                            self.b_value_info(d).set_declared_pointee(sig.ret.deref_taint());
+                            self.b_value_info(d)
+                                .set_declared_pointee(sig.ret.deref_taint());
                         }
                     }
                     let op = dst.map(Operand::Value).unwrap_or(Operand::Const(0));
@@ -724,10 +723,7 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
                 let layout = layout.ok_or_else(|| {
                     FrontendError::sema(format!("`.` applied to non-struct `{bty}`"), e.span)
                 })?;
-                let offset = layout
-                    .field(field)
-                    .map(|f| f.offset)
-                    .unwrap_or(0);
+                let offset = layout.field(field).map(|f| f.offset).unwrap_or(0);
                 let addr = self.b.bin(BinOp::Add, baddr, offset as i64);
                 Ok((addr.into(), fty))
             }
@@ -767,10 +763,7 @@ impl<'a, 'b> FnLowerer<'a, 'b> {
                 let (v, _) = self.lower_addr(expr)?;
                 Ok((v, ty.clone()))
             }
-            _ => Err(FrontendError::sema(
-                "expression is not an lvalue",
-                e.span,
-            )),
+            _ => Err(FrontendError::sema("expression is not an lvalue", e.span)),
         }
     }
 }
@@ -865,9 +858,15 @@ mod tests {
         let m = lower_src("int get(char *p, int i) { return p[i]; }");
         let f = m.function("get").unwrap();
         let has_byte_load = f.blocks.iter().any(|b| {
-            b.insts
-                .iter()
-                .any(|i| matches!(i, Inst::Load { size: MemSize::B1, .. }))
+            b.insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::Load {
+                        size: MemSize::B1,
+                        ..
+                    }
+                )
+            })
         });
         assert!(has_byte_load);
     }
@@ -899,7 +898,11 @@ mod tests {
              int f() { return send(1, \"hello\", 5); }",
         );
         assert!(m.globals.iter().any(|g| g.name.starts_with(".str.")));
-        let s = m.globals.iter().find(|g| g.name.starts_with(".str.")).unwrap();
+        let s = m
+            .globals
+            .iter()
+            .find(|g| g.name.starts_with(".str."))
+            .unwrap();
         assert_eq!(&s.init[..5], b"hello");
         assert_eq!(s.init[5], 0);
     }
@@ -914,7 +917,14 @@ mod tests {
         // Offset 8 must appear as an addend somewhere.
         let has_off8 = f.blocks.iter().any(|b| {
             b.insts.iter().any(|i| {
-                matches!(i, Inst::Bin { op: BinOp::Add, rhs: Operand::Const(8), .. })
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: BinOp::Add,
+                        rhs: Operand::Const(8),
+                        ..
+                    }
+                )
             })
         });
         assert!(has_off8);
@@ -928,10 +938,11 @@ mod tests {
              int main() { return apply(inc, 41); }",
         );
         let apply = m.function("apply").unwrap();
-        let has_icall = apply
-            .blocks
-            .iter()
-            .any(|b| b.insts.iter().any(|i| matches!(i, Inst::CallIndirect { .. })));
+        let has_icall = apply.blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, Inst::CallIndirect { .. }))
+        });
         assert!(has_icall);
         let main = m.function("main").unwrap();
         let has_funcaddr = main
@@ -943,9 +954,7 @@ mod tests {
 
     #[test]
     fn private_param_pins_are_recorded() {
-        let m = lower_src(
-            "int auth(char *u, private char *pass) { return pass[0]; }",
-        );
+        let m = lower_src("int auth(char *u, private char *pass) { return pass[0]; }");
         let f = m.function("auth").unwrap();
         assert_eq!(f.param_pointee_taints[1], Taint::Private);
         assert_eq!(f.param_pointee_taints[0], Taint::Public);

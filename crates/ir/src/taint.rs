@@ -212,13 +212,11 @@ impl ConstraintSet {
     fn flow_operand_into(&mut self, op: Operand, hi: Var, span: Span, why: &str) {
         match op {
             Operand::Const(_) => {} // public ⊑ anything, vacuous
-            Operand::Value(v) => {
-                self.push(
-                    ConstraintKind::Flow(self.var(v, Level::Value), hi),
-                    span,
-                    why,
-                )
-            }
+            Operand::Value(v) => self.push(
+                ConstraintKind::Flow(self.var(v, Level::Value), hi),
+                span,
+                why,
+            ),
         }
     }
 
@@ -325,7 +323,10 @@ fn infer_function(
             );
         }
         match &block.term {
-            Terminator::Ret { value: Some(v), span } => {
+            Terminator::Ret {
+                value: Some(v),
+                span,
+            } => {
                 let bound = if opts.all_private {
                     Taint::Private
                 } else {
@@ -391,12 +392,18 @@ fn infer_function(
         }
         // Non-strict mode: surface implicit flows as warnings.
         if !opts.strict {
-            if let Terminator::CondBr { cond: Operand::Value(v), span, .. } = &block.term {
+            if let Terminator::CondBr {
+                cond: Operand::Value(v),
+                span,
+                ..
+            } = &block.term
+            {
                 if solution.taint_of(cs.var(*v, Level::Value)) == Taint::Private {
                     warnings.push(TaintError {
                         function: fname.clone(),
-                        message: "branch condition depends on private data (possible implicit flow)"
-                            .to_string(),
+                        message:
+                            "branch condition depends on private data (possible implicit flow)"
+                                .to_string(),
                         span: *span,
                     });
                 }
@@ -437,7 +444,9 @@ fn gen_inst_constraints(
                 );
             }
         }
-        Inst::Load { dst, addr, span, .. } => {
+        Inst::Load {
+            dst, addr, span, ..
+        } => {
             if let Operand::Value(a) = addr {
                 cs.push(
                     ConstraintKind::Flow(cs.var(*a, Level::Pointee), cs.var(*dst, Level::Value)),
@@ -451,7 +460,9 @@ fn gen_inst_constraints(
                 );
             }
         }
-        Inst::Store { addr, value, span, .. } => {
+        Inst::Store {
+            addr, value, span, ..
+        } => {
             if let Operand::Value(a) = addr {
                 cs.flow_operand_into(
                     *value,
@@ -461,10 +472,7 @@ fn gen_inst_constraints(
                 );
                 if let Operand::Value(v) = value {
                     cs.push(
-                        ConstraintKind::Eq(
-                            cs.var(*v, Level::Pointee),
-                            cs.var(*a, Level::Pointee2),
-                        ),
+                        ConstraintKind::Eq(cs.var(*v, Level::Pointee), cs.var(*a, Level::Pointee2)),
                         *span,
                         "storing a pointer records what it points to",
                     );
@@ -502,10 +510,7 @@ fn gen_inst_constraints(
                     "pointer arithmetic stays within the pointed-to region",
                 );
                 cs.push(
-                    ConstraintKind::Eq(
-                        cs.var(v, Level::Pointee2),
-                        cs.var(*dst, Level::Pointee2),
-                    ),
+                    ConstraintKind::Eq(cs.var(v, Level::Pointee2), cs.var(*dst, Level::Pointee2)),
                     Span::default(),
                     "pointer arithmetic preserves indirect pointees",
                 );
@@ -570,8 +575,16 @@ fn gen_inst_constraints(
         } => {
             if let Some((param_taints, param_pointees, ret_taint)) = fn_sigs.get(callee) {
                 gen_call_constraints(
-                    cs, fname, callee, args, *dst, param_taints, param_pointees, *ret_taint,
-                    *span, opts,
+                    cs,
+                    fname,
+                    callee,
+                    args,
+                    *dst,
+                    param_taints,
+                    param_pointees,
+                    *ret_taint,
+                    *span,
+                    opts,
                 );
             }
         }
@@ -648,10 +661,14 @@ fn gen_call_constraints(
     for (i, arg) in args.iter().enumerate() {
         let pt = param_taints.get(i).copied().unwrap_or(Taint::Private);
         let pp = param_pointees.get(i).copied().unwrap_or(Taint::Private);
-        let pt = if opts.all_private && !param_taints.is_empty() {
-            pt
+        // All-private mode treats every U-internal parameter as private no
+        // matter its declared qualifier, mirroring the definition-side pins;
+        // extern (T) call sites are exempted by the caller, which clears
+        // `all_private` before generating their constraints.
+        let (pt, pp) = if opts.all_private {
+            (Taint::Private, Taint::Private)
         } else {
-            pt
+            (pt, pp)
         };
         cs.operand_at_most(
             *arg,
@@ -667,7 +684,7 @@ fn gen_call_constraints(
         );
     }
     if let Some(d) = dst {
-        if ret_taint == Taint::Private {
+        if ret_taint == Taint::Private || opts.all_private {
             cs.push(
                 ConstraintKind::AtLeastPrivate(cs.var(d, Level::Value)),
                 span,
@@ -806,8 +823,7 @@ fn solve(cs: &ConstraintSet, fname: &str) -> Result<Solution, Vec<TaintError>> {
         if uf.find(r) != r {
             continue;
         }
-        let is_private =
-            pinned[r] == Some(Taint::Private) || at_least_private[r].is_some();
+        let is_private = pinned[r] == Some(Taint::Private) || at_least_private[r].is_some();
         if is_private {
             taints[r] = Taint::Private;
             worklist.push(r);
@@ -922,9 +938,15 @@ mod tests {
         let f = m.function("handle").unwrap();
         // The buffer's loads must be tagged private.
         let has_private_load = f.blocks.iter().any(|b| {
-            b.insts
-                .iter()
-                .any(|i| matches!(i, Inst::Load { region: Taint::Private, .. }))
+            b.insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::Load {
+                        region: Taint::Private,
+                        ..
+                    }
+                )
+            })
         });
         assert!(has_private_load);
     }
@@ -1017,6 +1039,30 @@ mod tests {
     }
 
     #[test]
+    fn all_private_mode_accepts_private_args_to_publicly_declared_params() {
+        // `use_it` declares a public parameter, but in all-private mode every
+        // U-internal value is private, so the call site must not reject the
+        // (private) argument — the declared qualifier is overridden, exactly
+        // as it is at the definition side.
+        let src = "
+            int use_it(int v) { return v + 1; }
+            int f(int *p) { return use_it(p[0]); }
+        ";
+        let prog = parse(src).unwrap();
+        let sema = Sema::analyze(&prog).unwrap();
+        let mut module = lower(&prog, &sema, "test").unwrap();
+        let report = infer(
+            &mut module,
+            InferOptions {
+                strict: true,
+                all_private: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(report.public_accesses, 0);
+    }
+
+    #[test]
     fn private_global_accesses_are_private() {
         let src = "
             private int key;
@@ -1025,9 +1071,15 @@ mod tests {
         let (m, _) = infer_src(src).unwrap();
         let f = m.function("get_key").unwrap();
         let has_private_load = f.blocks.iter().any(|b| {
-            b.insts
-                .iter()
-                .any(|i| matches!(i, Inst::Load { region: Taint::Private, .. }))
+            b.insts.iter().any(|i| {
+                matches!(
+                    i,
+                    Inst::Load {
+                        region: Taint::Private,
+                        ..
+                    }
+                )
+            })
         });
         assert!(has_private_load);
     }

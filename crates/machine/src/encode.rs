@@ -31,7 +31,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "decode error at word {}: {}", self.word_index, self.message)
+        write!(
+            f,
+            "decode error at word {}: {}",
+            self.word_index, self.message
+        )
     }
 }
 
@@ -63,6 +67,7 @@ const OP_TRAP: u8 = 22;
 const OP_NOP: u8 = 23;
 const OP_CALL_REG: u8 = 24;
 
+#[derive(Default)]
 struct Fields {
     opcode: u8,
     reg1: u8,
@@ -80,29 +85,6 @@ struct Fields {
     cond: u8,
     aluop: u8,
     trap: u8,
-}
-
-impl Default for Fields {
-    fn default() -> Self {
-        Fields {
-            opcode: 0,
-            reg1: 0,
-            reg2: 0,
-            reg3: 0,
-            scale_log2: 0,
-            has_base: false,
-            has_index: false,
-            use_low32: false,
-            seg: 0,
-            byte_size: false,
-            upper: false,
-            bnd1: false,
-            rhs_is_imm: false,
-            cond: 0,
-            aluop: 0,
-            trap: 0,
-        }
-    }
 }
 
 impl Fields {
@@ -365,8 +347,7 @@ pub fn decode_inst(
             src: reg(f.reg2),
         },
         OP_ALU => MInst::Alu {
-            op: AluOp::from_index(f.aluop)
-                .ok_or_else(|| err(format!("bad ALU op {}", f.aluop)))?,
+            op: AluOp::from_index(f.aluop).ok_or_else(|| err(format!("bad ALU op {}", f.aluop)))?,
             dst: reg(f.reg1),
             src: if f.rhs_is_imm {
                 RegImm::Imm(simm)
@@ -390,9 +371,7 @@ pub fn decode_inst(
             cond: Cond::from_index(f.cond).ok_or_else(|| err("bad condition".to_string()))?,
             target: imm as u32,
         },
-        OP_JMP => MInst::Jmp {
-            target: imm as u32,
-        },
+        OP_JMP => MInst::Jmp { target: imm as u32 },
         OP_JMP_REG => MInst::JmpReg { reg: reg(f.reg1) },
         OP_LOAD => MInst::Load {
             dst: reg(f.reg1),
@@ -410,13 +389,9 @@ pub fn decode_inst(
         },
         OP_PUSH => MInst::Push { src: reg(f.reg1) },
         OP_POP => MInst::Pop { dst: reg(f.reg1) },
-        OP_CALL => MInst::CallDirect {
-            target: imm as u32,
-        },
+        OP_CALL => MInst::CallDirect { target: imm as u32 },
         OP_CALL_REG => MInst::CallReg { reg: reg(f.reg1) },
-        OP_CALL_EXT => MInst::CallExternal {
-            index: imm as u16,
-        },
+        OP_CALL_EXT => MInst::CallExternal { index: imm as u16 },
         OP_RET => MInst::Ret,
         OP_BNDC => MInst::BndCheck {
             bnd: if f.bnd1 { BndReg::Bnd1 } else { BndReg::Bnd0 },

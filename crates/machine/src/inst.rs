@@ -45,7 +45,10 @@ impl Cond {
     pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge];
 
     pub fn index(self) -> u8 {
-        Cond::ALL.iter().position(|c| *c == self).expect("member of ALL") as u8
+        Cond::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("member of ALL") as u8
     }
 
     pub fn from_index(i: u8) -> Option<Cond> {
@@ -83,7 +86,10 @@ impl AluOp {
     ];
 
     pub fn index(self) -> u8 {
-        AluOp::ALL.iter().position(|o| *o == self).expect("member of ALL") as u8
+        AluOp::ALL
+            .iter()
+            .position(|o| *o == self)
+            .expect("member of ALL") as u8
     }
 
     pub fn from_index(i: u8) -> Option<AluOp> {
@@ -207,7 +213,11 @@ pub enum MInst {
     Ret,
     /// MPX bound check of the effective address of `mem` against `bnd`
     /// (`upper` selects `bndcu` vs `bndcl`).
-    BndCheck { bnd: BndReg, mem: MemOperand, upper: bool },
+    BndCheck {
+        bnd: BndReg,
+        mem: MemOperand,
+        upper: bool,
+    },
     /// Read the code word at the word index held in `addr` (used by CFI
     /// checks to inspect magic words at jump targets).
     LoadCode { dst: Reg, addr: Reg },
@@ -350,7 +360,11 @@ mod tests {
         assert!(MInst::Ret.is_control_flow());
         assert!(MInst::Jmp { target: 3 }.is_control_flow());
         assert!(!MInst::Nop.is_control_flow());
-        assert!(!MInst::MovImm { dst: Reg::Rax, imm: 1 }.is_control_flow());
+        assert!(!MInst::MovImm {
+            dst: Reg::Rax,
+            imm: 1
+        }
+        .is_control_flow());
     }
 
     #[test]
@@ -374,6 +388,8 @@ mod tests {
         }
         .to_string();
         assert!(s.starts_with("bndcu"));
-        assert!(MInst::MagicWord { value: 0xabcd }.to_string().contains("0x"));
+        assert!(MInst::MagicWord { value: 0xabcd }
+            .to_string()
+            .contains("0x"));
     }
 }

@@ -198,19 +198,58 @@ impl MemoryLayout {
         (self.stack_area_size / self.thread_stack_size) as usize
     }
 
+    /// True if `[lo, hi)` contains `addr..addr+len`.  `addr` and `len` are
+    /// guest-controlled, so the end address must not wrap around u64: a
+    /// wrapped range would compare below `hi` and falsely pass.
+    fn range_contains(lo: u64, hi: u64, addr: u64, len: u64) -> bool {
+        match addr.checked_add(len) {
+            Some(end) => addr >= lo && end <= hi,
+            None => false,
+        }
+    }
+
     /// True if `addr..addr+len` lies entirely inside the public region.
     pub fn in_public(&self, addr: u64, len: u64) -> bool {
-        addr >= self.public_base && addr + len <= self.public_base + self.public_size
+        Self::range_contains(
+            self.public_base,
+            self.public_base + self.public_size,
+            addr,
+            len,
+        )
     }
 
     /// True if `addr..addr+len` lies entirely inside the private region.
     pub fn in_private(&self, addr: u64, len: u64) -> bool {
-        addr >= self.private_base && addr + len <= self.private_base + self.private_size
+        Self::range_contains(
+            self.private_base,
+            self.private_base + self.private_size,
+            addr,
+            len,
+        )
+    }
+
+    /// True if `addr..addr+len` lies inside the window the instrumentation
+    /// allows private data to inhabit: exactly the private region with split
+    /// stacks, widened over the shared stack area without (the [`bnd1`]
+    /// range).  The trusted wrappers must use this rather than
+    /// [`in_private`], or stack-allocated private buffers are rejected under
+    /// the single-stack configuration.
+    ///
+    /// [`bnd1`]: MemoryLayout::bnd1
+    /// [`in_private`]: MemoryLayout::in_private
+    pub fn in_private_window(&self, addr: u64, len: u64) -> bool {
+        let (lo, hi) = self.bnd1();
+        Self::range_contains(lo, hi, addr, len)
     }
 
     /// True if `addr..addr+len` lies inside T's region.
     pub fn in_trusted(&self, addr: u64, len: u64) -> bool {
-        addr >= self.trusted_base && addr + len <= self.trusted_base + self.trusted_size
+        Self::range_contains(
+            self.trusted_base,
+            self.trusted_base + self.trusted_size,
+            addr,
+            len,
+        )
     }
 }
 
@@ -223,7 +262,10 @@ mod tests {
         let l = MemoryLayout::new(Scheme::Mpx, true, true);
         let off = l.private_stack_offset();
         assert!(off > 0);
-        assert!(off <= i32::MAX as i64, "OFFSET must fit a 31-bit displacement");
+        assert!(
+            off <= i32::MAX as i64,
+            "OFFSET must fit a 31-bit displacement"
+        );
         assert_eq!(l.private_base, l.public_base + l.public_size);
     }
 
@@ -274,6 +316,17 @@ mod tests {
             assert_eq!(l.tls_base_for_rsp(l.initial_rsp(t)), base);
         }
         assert!(l.max_threads() >= 6);
+    }
+
+    #[test]
+    fn region_checks_reject_wrapping_ranges() {
+        // Guest-controlled addr/len must not wrap the end address around
+        // u64 and falsely pass (or panic the host under debug assertions).
+        let l = MemoryLayout::new(Scheme::Mpx, false, true);
+        assert!(!l.in_public(u64::MAX, 32));
+        assert!(!l.in_private(u64::MAX, 32));
+        assert!(!l.in_private_window(u64::MAX, 32));
+        assert!(!l.in_trusted(u64::MAX, 32));
     }
 
     #[test]

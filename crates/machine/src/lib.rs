@@ -31,7 +31,9 @@ pub use layout::MemoryLayout;
 pub use magic::{find_unique_prefixes, pad_arg_taints, MagicPrefixes};
 pub use operand::{MemOperand, Seg};
 pub use program::{Binary, BinaryHeader, ExternSpec, FuncSym, GlobalSpec, Program, Scheme};
-pub use reg::{Reg, ALLOCATABLE, ARG_REGS, CALLEE_SAVED, CALLER_SAVED, RET_REG, SCRATCH0, SCRATCH1, SCRATCH2};
+pub use reg::{
+    Reg, ALLOCATABLE, ARG_REGS, CALLEE_SAVED, CALLER_SAVED, RET_REG, SCRATCH0, SCRATCH1, SCRATCH2,
+};
 
 /// Re-export of the taint lattice shared with the frontend.
 pub use confllvm_minic::Taint;

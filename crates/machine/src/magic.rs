@@ -29,8 +29,8 @@ impl MagicPrefixes {
     /// Fixed prefixes used in unit tests (never searched for uniqueness).
     pub fn test_defaults() -> Self {
         MagicPrefixes {
-            call_prefix: 0x05ca1ab1e_c0ffee & PREFIX_MASK,
-            ret_prefix: 0x0decafbad_f00d01 & PREFIX_MASK,
+            call_prefix: 0x005c_a1ab_1ec0_ffee & PREFIX_MASK,
+            ret_prefix: 0x00de_cafb_adf0_0d01 & PREFIX_MASK,
         }
     }
 
@@ -105,9 +105,7 @@ fn find_one_prefix<R: Rng>(rng: &mut R, words: &[u64], avoid: Option<u64>) -> u6
         if candidate == 0 || Some(candidate) == avoid {
             continue;
         }
-        let collides = words
-            .iter()
-            .any(|w| (w >> TAINT_FIELD_BITS) == candidate);
+        let collides = words.iter().any(|w| (w >> TAINT_FIELD_BITS) == candidate);
         if !collides {
             return candidate;
         }
@@ -132,7 +130,12 @@ mod tests {
     #[test]
     fn call_word_roundtrip() {
         let p = MagicPrefixes::test_defaults();
-        let args = [Taint::Public, Taint::Private, Taint::Private, Taint::Private];
+        let args = [
+            Taint::Public,
+            Taint::Private,
+            Taint::Private,
+            Taint::Private,
+        ];
         let w = p.call_word(args, Taint::Private);
         assert!(p.is_call_word(w));
         assert!(!p.is_ret_word(w));
@@ -148,7 +151,12 @@ mod tests {
         let all_private = p.call_word([Taint::Private; 4], Taint::Private);
         assert_eq!(all_private & 0x1f, 0b11111);
         let incr = p.call_word(
-            [Taint::Public, Taint::Private, Taint::Private, Taint::Private],
+            [
+                Taint::Public,
+                Taint::Private,
+                Taint::Private,
+                Taint::Private,
+            ],
             Taint::Private,
         );
         assert_eq!(incr & 0x1f, 0b11110);

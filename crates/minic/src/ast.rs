@@ -119,7 +119,11 @@ pub enum Stmt {
         span: Span,
     },
     /// `while (cond) { .. }`
-    While { cond: Expr, body: Block, span: Span },
+    While {
+        cond: Expr,
+        body: Block,
+        span: Span,
+    },
     /// `for (init; cond; step) { .. }` — all three clauses optional.
     For {
         init: Option<Box<Stmt>>,
@@ -129,9 +133,16 @@ pub enum Stmt {
         span: Span,
     },
     /// `return;` or `return e;`
-    Return { value: Option<Expr>, span: Span },
-    Break { span: Span },
-    Continue { span: Span },
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
+    Break {
+        span: Span,
+    },
+    Continue {
+        span: Span,
+    },
     /// Nested block.
     Block(Block),
 }
@@ -234,10 +245,7 @@ pub enum ExprKind {
     /// Direct or indirect call.  `callee` is an arbitrary expression; if it
     /// resolves to a function name the call is direct, otherwise it is an
     /// indirect call through a function pointer.
-    Call {
-        callee: Box<Expr>,
-        args: Vec<Expr>,
-    },
+    Call { callee: Box<Expr>, args: Vec<Expr> },
     /// Array indexing `base[index]` (sugar for `*(base + index)`).
     Index { base: Box<Expr>, index: Box<Expr> },
     /// Struct member access `base.field`.

@@ -230,9 +230,7 @@ impl Parser {
                 let name = self.expect_ident()?;
                 Type::strukt(&name)
             }
-            other => {
-                return Err(self.error(format!("expected a type, found {}", other.describe())))
-            }
+            other => return Err(self.error(format!("expected a type, found {}", other.describe()))),
         };
         Ok(base.with_base_taint(taint))
     }
@@ -723,10 +721,7 @@ mod tests {
 
     #[test]
     fn parse_simple_function() {
-        let prog = parse(
-            "int add(int a, int b) {\n  return a + b;\n}\n",
-        )
-        .unwrap();
+        let prog = parse("int add(int a, int b) {\n  return a + b;\n}\n").unwrap();
         assert_eq!(prog.functions.len(), 1);
         let f = &prog.functions[0];
         assert_eq!(f.name, "add");
@@ -777,10 +772,8 @@ mod tests {
 
     #[test]
     fn parse_function_pointer() {
-        let prog = parse(
-            "int apply(int (*fp)(int, int), int a, int b) { return fp(a, b); }\n",
-        )
-        .unwrap();
+        let prog =
+            parse("int apply(int (*fp)(int, int), int a, int b) { return fp(a, b); }\n").unwrap();
         let f = &prog.functions[0];
         assert!(f.params[0].ty.is_func_ptr());
     }
@@ -802,7 +795,11 @@ mod tests {
     fn parse_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
         match e.kind {
-            ExprKind::Binary { op: BinOp::Add, rhs, .. } => match rhs.kind {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => match rhs.kind {
                 ExprKind::Binary { op: BinOp::Mul, .. } => {}
                 other => panic!("expected mul on rhs, got {other:?}"),
             },

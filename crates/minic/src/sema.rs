@@ -93,7 +93,10 @@ impl Sema {
         for f in &prog.functions {
             if sema.signatures.contains_key(&f.name) {
                 return Err(FrontendError::sema(
-                    format!("function `{}` conflicts with an earlier declaration", f.name),
+                    format!(
+                        "function `{}` conflicts with an earlier declaration",
+                        f.name
+                    ),
                     f.span,
                 ));
             }
@@ -148,9 +151,7 @@ impl Sema {
             TypeKind::Struct(name) => {
                 self.structs
                     .get(name)
-                    .ok_or_else(|| {
-                        FrontendError::sema(format!("unknown struct `{name}`"), span)
-                    })?
+                    .ok_or_else(|| FrontendError::sema(format!("unknown struct `{name}`"), span))?
                     .size
             }
         })
@@ -222,9 +223,7 @@ impl Sema {
                         }
                     },
                     UnOp::AddrOf => Type::ptr(inner),
-                    UnOp::Neg | UnOp::Not | UnOp::BitNot => {
-                        Type::new(TypeKind::Int, inner.taint)
-                    }
+                    UnOp::Neg | UnOp::Not | UnOp::BitNot => Type::new(TypeKind::Int, inner.taint),
                 }
             }
             ExprKind::Binary { op, lhs, rhs } => {
@@ -365,9 +364,10 @@ impl Sema {
                 }
             }
         };
-        let layout = self.structs.get(&struct_name).ok_or_else(|| {
-            FrontendError::sema(format!("unknown struct `{struct_name}`"), span)
-        })?;
+        let layout = self
+            .structs
+            .get(&struct_name)
+            .ok_or_else(|| FrontendError::sema(format!("unknown struct `{struct_name}`"), span))?;
         let f = layout.field(field).ok_or_else(|| {
             FrontendError::sema(
                 format!("struct `{struct_name}` has no field `{field}`"),
@@ -538,25 +538,19 @@ mod tests {
 
     #[test]
     fn unknown_field_is_an_error() {
-        let err = analyze(
-            "struct s { int a; };\n int f(struct s *p) { return p->b; }\n",
-        )
-        .unwrap_err();
+        let err =
+            analyze("struct s { int a; };\n int f(struct s *p) { return p->b; }\n").unwrap_err();
         assert!(err.to_string().contains("no field"));
     }
 
     #[test]
     fn member_taint_inherits_outer_qualifier() {
-        let sema = analyze(
-            "struct st { int *p; };\n int f(private struct st *x) { return 0; }\n",
-        )
-        .unwrap();
+        let sema = analyze("struct st { int *p; };\n int f(private struct st *x) { return 0; }\n")
+            .unwrap();
         // `x` is a pointer to a private struct st; x->p should be a private
         // pointer (outermost taint inherited).
         let base = Type::ptr(Type::strukt("st").with_outer_taint(Taint::Private));
-        let t = sema
-            .member_type(&base, "p", Span::default(), true)
-            .unwrap();
+        let t = sema.member_type(&base, "p", Span::default(), true).unwrap();
         assert_eq!(t.taint, Taint::Private);
     }
 

@@ -151,12 +151,12 @@ impl Type {
         match &mut self.kind {
             TypeKind::Ptr(inner) => {
                 let new_inner = inner.as_ref().clone().with_base_taint(taint);
-                *inner = Box::new(new_inner);
+                **inner = new_inner;
             }
             TypeKind::Array(elem, _) => {
                 let new_elem = elem.as_ref().clone().with_base_taint(taint);
                 self.taint = new_elem.taint;
-                *elem = Box::new(new_elem);
+                **elem = new_elem;
             }
             _ => self.taint = taint,
         }

@@ -16,8 +16,8 @@
 use std::collections::HashMap;
 
 use confllvm_machine::{
-    decode_words, BndReg, Binary, MInst, MemOperand, MemoryLayout, Reg, RegImm, Scheme, Seg,
-    Taint, ARG_REGS, CALLEE_SAVED, RET_REG,
+    decode_words, Binary, BndReg, MInst, MemOperand, MemoryLayout, Reg, RegImm, Scheme, Seg, Taint,
+    ARG_REGS, CALLEE_SAVED, RET_REG,
 };
 
 /// A verification failure.
@@ -30,7 +30,11 @@ pub struct VerifyError {
 
 impl std::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "verification failed at word {}: {}", self.word, self.message)
+        write!(
+            f,
+            "verification failed at word {}: {}",
+            self.word, self.message
+        )
     }
 }
 
@@ -183,6 +187,7 @@ impl<'a> Verifier<'a> {
     ///   redefinition of the base; rsp-relative operands are classified by
     ///   their displacement relative to OFFSET, justified by the `_chkstk`
     ///   enforcement.
+    #[allow(clippy::too_many_arguments)]
     fn mem_taint(
         &mut self,
         word: u32,
@@ -366,9 +371,15 @@ impl<'a> Verifier<'a> {
                     }
                 }
                 MInst::Load { dst, mem, .. } => {
-                    if let Some(t) =
-                        self.mem_taint(word, &mem, &checked, &slot_of_reg, &checked_slots, &rsp_off, saw_chkstk)
-                    {
+                    if let Some(t) = self.mem_taint(
+                        word,
+                        &mem,
+                        &checked,
+                        &slot_of_reg,
+                        &checked_slots,
+                        &rsp_off,
+                        saw_chkstk,
+                    ) {
                         taint[dst.index()] = t;
                     } else {
                         taint[dst.index()] = Taint::Private;
@@ -383,9 +394,15 @@ impl<'a> Verifier<'a> {
                 }
                 MInst::Store { mem, src, .. } => {
                     self.report.stores_checked += 1;
-                    if let Some(t) =
-                        self.mem_taint(word, &mem, &checked, &slot_of_reg, &checked_slots, &rsp_off, saw_chkstk)
-                    {
+                    if let Some(t) = self.mem_taint(
+                        word,
+                        &mem,
+                        &checked,
+                        &slot_of_reg,
+                        &checked_slots,
+                        &rsp_off,
+                        saw_chkstk,
+                    ) {
                         if !taint[src.index()].flows_to(t) {
                             self.err(
                                 word,
@@ -522,7 +539,10 @@ impl<'a> Verifier<'a> {
             return;
         };
         let Some((expect, _ret)) = self.prefixes().decode_call(*value) else {
-            self.err(word, "direct call target's magic word is not a call magic word");
+            self.err(
+                word,
+                "direct call target's magic word is not a call magic word",
+            );
             return;
         };
         for (i, r) in ARG_REGS.iter().enumerate() {
@@ -556,10 +576,10 @@ impl<'a> Verifier<'a> {
         for &idx in &body[k - window..k] {
             match &self.insts[idx].1 {
                 MInst::LoadCode { .. } => saw_loadcode = true,
-                MInst::Jcc { cond, target } if *cond == confllvm_machine::Cond::Ne => {
-                    if self.target_is_trap(*target) {
-                        saw_guard_branch = true;
-                    }
+                MInst::Jcc { cond, target }
+                    if *cond == confllvm_machine::Cond::Ne && self.target_is_trap(*target) =>
+                {
+                    saw_guard_branch = true;
                 }
                 MInst::MovImm { imm, .. } => {
                     let candidate = !(*imm as u64);
@@ -615,10 +635,10 @@ impl<'a> Verifier<'a> {
         for &idx in &body[k - window..k] {
             match &self.insts[idx].1 {
                 MInst::LoadCode { .. } => saw_loadcode = true,
-                MInst::Jcc { cond, target } if *cond == confllvm_machine::Cond::Ne => {
-                    if self.target_is_trap(*target) {
-                        saw_guard_branch = true;
-                    }
+                MInst::Jcc { cond, target }
+                    if *cond == confllvm_machine::Cond::Ne && self.target_is_trap(*target) =>
+                {
+                    saw_guard_branch = true;
                 }
                 MInst::MovImm { imm, .. } => {
                     let candidate = !(*imm as u64);

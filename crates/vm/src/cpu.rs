@@ -5,8 +5,7 @@
 //! with the cost model of [`crate::cost`].
 
 use confllvm_machine::{
-    trap, AluOp, BndReg, MInst, MemOperand, Program, Reg, RegImm, Taint,
-    ARG_REGS, RET_REG,
+    trap, AluOp, BndReg, MInst, MemOperand, Program, Reg, RegImm, Taint, ARG_REGS, RET_REG,
 };
 
 use crate::alloc::{AllocatorKind, Heap};
@@ -49,20 +48,31 @@ pub enum Fault {
     /// Access to unmapped memory (guard regions, wild pointers).
     Memory(MemFault),
     /// MPX bound-check failure.
-    Bounds { addr: u64, region: Taint },
+    Bounds {
+        addr: u64,
+        region: Taint,
+    },
     /// Taint-aware CFI violation (magic-word mismatch or trap).
     Cfi,
     /// Jump/call to something that is not an instruction boundary.
-    InvalidJump { word: u64 },
+    InvalidJump {
+        word: u64,
+    },
     /// Fell into a magic data word.
-    ExecutedMagic { word: u64 },
+    ExecutedMagic {
+        word: u64,
+    },
     DivZero,
     /// `_chkstk` found rsp outside the current thread's stack.
-    StackCheck { rsp: u64 },
+    StackCheck {
+        rsp: u64,
+    },
     /// A trusted wrapper rejected a call.
     Trusted(TrustedError),
     /// Call to an extern index with no registered T function.
-    UnknownExtern { index: u16 },
+    UnknownExtern {
+        index: u16,
+    },
     /// Explicit abort.
     Abort,
     /// Instruction budget exhausted.
@@ -74,7 +84,11 @@ impl std::fmt::Display for Fault {
         match self {
             Fault::Memory(m) => write!(f, "memory fault: {m}"),
             Fault::Bounds { addr, region } => {
-                write!(f, "bounds violation: {addr:#x} not in {} region", region.name())
+                write!(
+                    f,
+                    "bounds violation: {addr:#x} not in {} region",
+                    region.name()
+                )
             }
             Fault::Cfi => write!(f, "taint-aware CFI violation"),
             Fault::InvalidJump { word } => write!(f, "invalid jump target word {word}"),
@@ -258,10 +272,7 @@ impl Vm {
             self.image.exit_thunks.public_ret
         };
         t.regs[Reg::Rsp.index()] -= 8;
-        if let Err(e) = self
-            .memory
-            .write(t.regs[Reg::Rsp.index()], 8, thunk as u64)
-        {
+        if let Err(e) = self.memory.write(t.regs[Reg::Rsp.index()], 8, thunk as u64) {
             return Outcome::Fault(Fault::Memory(e));
         }
         self.exec_loop(&mut t)
@@ -370,7 +381,11 @@ impl Vm {
                     if cond.eval(t.last_cmp.0, t.last_cmp.1) {
                         match self.inst_at_word(target as u64) {
                             Some(i) => next_pc = i,
-                            None => return Outcome::Fault(Fault::InvalidJump { word: target as u64 }),
+                            None => {
+                                return Outcome::Fault(Fault::InvalidJump {
+                                    word: target as u64,
+                                })
+                            }
                         }
                     }
                 }
@@ -378,7 +393,11 @@ impl Vm {
                     self.charge(cost.jump);
                     match self.inst_at_word(target as u64) {
                         Some(i) => next_pc = i,
-                        None => return Outcome::Fault(Fault::InvalidJump { word: target as u64 }),
+                        None => {
+                            return Outcome::Fault(Fault::InvalidJump {
+                                word: target as u64,
+                            })
+                        }
                     }
                 }
                 MInst::JmpReg { reg } => {
@@ -448,12 +467,8 @@ impl Vm {
                 }
                 MInst::LoadCode { dst, addr } => {
                     let w = t.regs[addr.index()];
-                    t.regs[dst.index()] = self
-                        .image
-                        .code_words
-                        .get(w as usize)
-                        .copied()
-                        .unwrap_or(0);
+                    t.regs[dst.index()] =
+                        self.image.code_words.get(w as usize).copied().unwrap_or(0);
                     self.stats.cfi_checks += 1;
                     self.charge(cost.load_code);
                 }
@@ -474,7 +489,11 @@ impl Vm {
                     }
                     match self.inst_at_word(target as u64) {
                         Some(i) => next_pc = i,
-                        None => return Outcome::Fault(Fault::InvalidJump { word: target as u64 }),
+                        None => {
+                            return Outcome::Fault(Fault::InvalidJump {
+                                word: target as u64,
+                            })
+                        }
                     }
                 }
                 MInst::CallReg { reg } => {
@@ -643,7 +662,6 @@ mod tests {
             cfi: false,
             separate_trusted_memory: false,
             split_stacks: false,
-            ..Default::default()
         }
     }
 

@@ -103,7 +103,7 @@ pub fn load(program: &Program, allocator: AllocatorKind) -> Result<Loaded, LoadE
     // return-site magic word; execution then reaches the EXIT trap.
     let mut exit_thunks = ExitThunks::default();
     {
-        let mut add_thunk = |ret: Taint, insts: &mut Vec<MInst>| -> u32 {
+        let add_thunk = |ret: Taint, insts: &mut Vec<MInst>| -> u32 {
             let word: u32 = insts.iter().map(encoded_len).sum();
             if program.cfi {
                 insts.push(MInst::MagicWord {
@@ -148,9 +148,10 @@ pub fn load(program: &Program, allocator: AllocatorKind) -> Result<Loaded, LoadE
     };
     let mut global_addrs = Vec::with_capacity(program.globals.len());
     for g in &program.globals {
-        let cursor = if g.taint == Taint::Private && !single_region {
-            &mut priv_cursor
-        } else if g.taint == Taint::Private {
+        // Private globals always use the private cursor; in the
+        // single-region baselines it was initialised above to a bump area
+        // past the public globals rather than a separate region.
+        let cursor = if g.taint == Taint::Private {
             &mut priv_cursor
         } else {
             &mut pub_cursor
@@ -158,11 +159,9 @@ pub fn load(program: &Program, allocator: AllocatorKind) -> Result<Loaded, LoadE
         let addr = *cursor;
         *cursor += g.size.div_ceil(16) * 16;
         if !g.init.is_empty() {
-            memory
-                .write_bytes(addr, &g.init)
-                .map_err(|e| LoadError {
-                    message: format!("initialising global `{}`: {e}", g.name),
-                })?;
+            memory.write_bytes(addr, &g.init).map_err(|e| LoadError {
+                message: format!("initialising global `{}`: {e}", g.name),
+            })?;
         }
         global_addrs.push(addr);
     }
@@ -272,9 +271,7 @@ mod tests {
         // Just past the end of the public region (inside the private region
         // for MPX these are adjacent, so probe below the public base).
         assert!(mem.read(l.public_base - 8, 8).is_err());
-        assert!(mem
-            .read(l.private_base + l.private_size + 8, 8)
-            .is_err());
+        assert!(mem.read(l.private_base + l.private_size + 8, 8).is_err());
     }
 
     #[test]

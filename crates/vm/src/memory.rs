@@ -52,9 +52,7 @@ impl Memory {
     /// Is the whole access inside a mapped range?
     pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
         let end = addr.saturating_add(len);
-        self.mapped
-            .iter()
-            .any(|(lo, hi)| addr >= *lo && end <= *hi)
+        self.mapped.iter().any(|(lo, hi)| addr >= *lo && end <= *hi)
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {

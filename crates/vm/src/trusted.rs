@@ -23,7 +23,11 @@ pub struct TrustedError {
 
 impl std::fmt::Display for TrustedError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "trusted wrapper `{}` rejected the call: {}", self.func, self.reason)
+        write!(
+            f,
+            "trusted wrapper `{}` rejected the call: {}",
+            self.func, self.reason
+        )
     }
 }
 
@@ -78,16 +82,14 @@ impl<'a> TrustedCtx<'a> {
         if !self.strict_regions {
             // Single-region baselines: only require the buffer to be inside
             // U's memory at all (never inside T's).
-            if self.layout.in_public(addr, len)
-                || self.layout.in_private(addr, len)
-            {
+            if self.layout.in_public(addr, len) || self.layout.in_private(addr, len) {
                 return Ok(());
             }
             return Err(self.err(func, format!("buffer {addr:#x}+{len} outside U memory")));
         }
         let ok = match taint {
             Taint::Public => self.layout.in_public(addr, len),
-            Taint::Private => self.layout.in_private(addr, len),
+            Taint::Private => self.layout.in_private_window(addr, len),
         };
         if ok {
             Ok(())
@@ -102,14 +104,26 @@ impl<'a> TrustedCtx<'a> {
         }
     }
 
-    fn read_buf(&mut self, func: &str, addr: u64, len: u64, taint: Taint) -> Result<Vec<u8>, TrustedError> {
+    fn read_buf(
+        &mut self,
+        func: &str,
+        addr: u64,
+        len: u64,
+        taint: Taint,
+    ) -> Result<Vec<u8>, TrustedError> {
         self.check_buffer(func, addr, len, taint)?;
         self.memory
             .read_bytes(addr, len)
             .map_err(|e| self.err(func, e.to_string()))
     }
 
-    fn write_buf(&mut self, func: &str, addr: u64, data: &[u8], taint: Taint) -> Result<(), TrustedError> {
+    fn write_buf(
+        &mut self,
+        func: &str,
+        addr: u64,
+        data: &[u8],
+        taint: Taint,
+    ) -> Result<(), TrustedError> {
         self.check_buffer(func, addr, data.len() as u64, taint)?;
         self.memory
             .write_bytes(addr, data)
@@ -372,10 +386,16 @@ mod tests {
         m.write_bytes(uname, b"alice\0").unwrap();
         let priv_buf = l.private_heap_base();
         let pub_buf = l.public_heap_base() + 256;
-        let mut c = ctx(&mut m, &mut w, &l, &mut hp, &mut hv);
-        assert!(call(&mut c, "read_passwd", [uname as i64, priv_buf as i64, 32, 0]).is_ok());
-        assert!(call(&mut c, "read_passwd", [uname as i64, pub_buf as i64, 32, 0]).is_err());
-        drop(c);
+        {
+            let mut c = ctx(&mut m, &mut w, &l, &mut hp, &mut hv);
+            assert!(call(
+                &mut c,
+                "read_passwd",
+                [uname as i64, priv_buf as i64, 32, 0]
+            )
+            .is_ok());
+            assert!(call(&mut c, "read_passwd", [uname as i64, pub_buf as i64, 32, 0]).is_err());
+        }
         assert_eq!(m.read_bytes(priv_buf, 7).unwrap(), b"hunter2");
     }
 
@@ -385,9 +405,10 @@ mod tests {
         let priv_buf = l.private_heap_base();
         let pub_buf = l.public_heap_base();
         m.write_bytes(priv_buf, b"topsecret").unwrap();
-        let mut c = ctx(&mut m, &mut w, &l, &mut hp, &mut hv);
-        call(&mut c, "encrypt", [priv_buf as i64, pub_buf as i64, 9, 0]).unwrap();
-        drop(c);
+        {
+            let mut c = ctx(&mut m, &mut w, &l, &mut hp, &mut hv);
+            call(&mut c, "encrypt", [priv_buf as i64, pub_buf as i64, 9, 0]).unwrap();
+        }
         let out = m.read_bytes(pub_buf, 9).unwrap();
         assert_ne!(out, b"topsecret", "ciphertext must differ from plaintext");
         assert_eq!(w.xor_crypt(&out), b"topsecret");

@@ -51,7 +51,8 @@ impl World {
     }
 
     pub fn add_secret_file(&mut self, name: &str, contents: &[u8]) {
-        self.secret_files.insert(name.to_string(), contents.to_vec());
+        self.secret_files
+            .insert(name.to_string(), contents.to_vec());
     }
 
     pub fn set_password(&mut self, user: &str, password: &[u8]) {

@@ -127,7 +127,11 @@ fn run_two(
     )
     .expect("load");
     let pop = vm.run_function("populate", &[entries as i64]);
-    assert!(!pop.outcome.is_fault(), "populate faulted: {:?}", pop.outcome);
+    assert!(
+        !pop.outcome.is_fault(),
+        "populate faulted: {:?}",
+        pop.outcome
+    );
     let result = vm.run_function("query", &[queries as i64, i64::from(hit)]);
     assert!(
         !result.outcome.is_fault(),
@@ -162,9 +166,10 @@ mod tests {
     fn passwords_do_not_leave_in_clear() {
         let r = run(Config::OurMpx, 16, 16, true);
         let observable = r.world.observable();
-        assert!(!observable
-            .windows(6)
-            .any(|w| w == b"ldap-s"), "password prefix leaked");
+        assert!(
+            !observable.windows(6).any(|w| w == b"ldap-s"),
+            "password prefix leaked"
+        );
         assert!(!r.world.sent.is_empty());
     }
 

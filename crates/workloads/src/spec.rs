@@ -25,15 +25,51 @@ pub struct SpecKernel {
 /// The kernel list (perlbench is omitted, as in the paper, because it needs
 /// `fork`).
 pub const KERNELS: &[SpecKernel] = &[
-    SpecKernel { name: "bzip2", source: BZIP2, size: 48 },
-    SpecKernel { name: "gcc", source: GCC, size: 40 },
-    SpecKernel { name: "mcf", source: MCF, size: 28 },
-    SpecKernel { name: "gobmk", source: GOBMK, size: 24 },
-    SpecKernel { name: "hmmer", source: HMMER, size: 28 },
-    SpecKernel { name: "sjeng", source: SJENG, size: 22 },
-    SpecKernel { name: "libquantum", source: LIBQUANTUM, size: 40 },
-    SpecKernel { name: "h264ref", source: H264REF, size: 24 },
-    SpecKernel { name: "milc", source: MILC, size: 26 },
+    SpecKernel {
+        name: "bzip2",
+        source: BZIP2,
+        size: 48,
+    },
+    SpecKernel {
+        name: "gcc",
+        source: GCC,
+        size: 40,
+    },
+    SpecKernel {
+        name: "mcf",
+        source: MCF,
+        size: 28,
+    },
+    SpecKernel {
+        name: "gobmk",
+        source: GOBMK,
+        size: 24,
+    },
+    SpecKernel {
+        name: "hmmer",
+        source: HMMER,
+        size: 28,
+    },
+    SpecKernel {
+        name: "sjeng",
+        source: SJENG,
+        size: 22,
+    },
+    SpecKernel {
+        name: "libquantum",
+        source: LIBQUANTUM,
+        size: 40,
+    },
+    SpecKernel {
+        name: "h264ref",
+        source: H264REF,
+        size: 24,
+    },
+    SpecKernel {
+        name: "milc",
+        source: MILC,
+        size: 26,
+    },
 ];
 
 /// Run one kernel under one configuration.

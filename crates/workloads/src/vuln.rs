@@ -21,8 +21,8 @@ pub struct ExploitOutcome {
 }
 
 /// 1. The Mongoose-style stale-stack disclosure: a handler that serves a
-/// private file leaves its contents on the stack; a later handler sends an
-/// uninitialised buffer of the same shape, disclosing the stale data.
+///    private file leaves its contents on the stack; a later handler sends
+///    an uninitialised buffer of the same shape, disclosing the stale data.
 pub const MONGOOSE_STALE_STACK: &str = "
     extern int read_file_secret(char *name, private char *buf, int size);
     extern int send(int fd, char *buf, int size);
@@ -51,8 +51,8 @@ pub const MONGOOSE_STALE_STACK: &str = "
 ";
 
 /// 2. The Minizip-style password leak: the password is written to the log,
-/// with enough pointer casts that the static analysis cannot see the flow —
-/// only the runtime checks can stop it.
+///    with enough pointer casts that the static analysis cannot see the
+///    flow — only the runtime checks can stop it.
 pub const MINIZIP_CAST_LEAK: &str = "
     extern void read_passwd(char *uname, private char *pass, int size);
     extern int log_write(char *buf, int size);
@@ -74,8 +74,8 @@ pub const MINIZIP_CAST_LEAK: &str = "
 ";
 
 /// 3. The format-string style over-read: a printf-like helper walks more
-/// "arguments" than were passed and reads adjacent stack memory, which in an
-/// unprotected build contains a private key copied by the caller.
+///    "arguments" than were passed and reads adjacent stack memory, which
+///    in an unprotected build contains a private key copied by the caller.
 pub const FORMAT_STRING: &str = "
     extern void read_passwd(char *uname, private char *pass, int size);
     extern int send(int fd, char *buf, int size);
@@ -110,7 +110,13 @@ pub const FORMAT_STRING: &str = "
 
 /// Drive one vulnerable program under one configuration and report whether
 /// the secret leaked into the observable channels.
-pub fn drive(source: &str, config: Config, secret: &[u8], entry: &str, args: &[i64]) -> ExploitOutcome {
+pub fn drive(
+    source: &str,
+    config: Config,
+    secret: &[u8],
+    entry: &str,
+    args: &[i64],
+) -> ExploitOutcome {
     let opts = CompileOptions {
         config,
         entry: entry.to_string(),
@@ -142,10 +148,7 @@ pub fn drive(source: &str, config: Config, secret: &[u8], entry: &str, args: &[i
     .expect("load");
     let result = vm.run_function(entry, args);
     let observable = vm.world.observable();
-    let leaked = secret.len() >= 8
-        && observable
-            .windows(8)
-            .any(|w| w == &secret[..8]);
+    let leaked = secret.len() >= 8 && observable.windows(8).any(|w| w == &secret[..8]);
     ExploitOutcome {
         config,
         rejected_at_compile_time: false,

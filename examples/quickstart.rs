@@ -38,7 +38,11 @@ const SOURCE: &str = r#"
         char wire[32];
         encrypt(password, wire, 32);
         send(1, wire, 32);
-        return digest - digest;
+
+        // The private digest must never flow to the public exit code — even
+        // `digest - digest` is private to the type system — so return a
+        // public constant.
+        return 0;
     }
 "#;
 
@@ -79,5 +83,8 @@ fn main() {
     // 4. The password never appears in clear in anything observable.
     let observable = vm.world.observable();
     assert!(!observable.windows(7).any(|w| w == b"hunter2"));
-    println!("observable output: {} bytes, password never in clear ✓", observable.len());
+    println!(
+        "observable output: {} bytes, password never in clear ✓",
+        observable.len()
+    );
 }

@@ -48,7 +48,13 @@ fn main() {
     let mut tampered = compiled.program.clone();
     let mut dropped = 0;
     for inst in &mut tampered.insts {
-        if matches!(inst, MInst::BndCheck { bnd: BndReg::Bnd1, .. }) {
+        if matches!(
+            inst,
+            MInst::BndCheck {
+                bnd: BndReg::Bnd1,
+                ..
+            }
+        ) {
             *inst = MInst::Nop;
             dropped += 1;
         }
@@ -56,7 +62,10 @@ fn main() {
     println!("tampering: dropped {dropped} private-region bound checks");
     match verify(&tampered.encode()) {
         Err(errors) => {
-            println!("tampered binary REJECTED with {} error(s), e.g.:", errors.len());
+            println!(
+                "tampered binary REJECTED with {} error(s), e.g.:",
+                errors.len()
+            );
             println!("  {}", errors[0]);
         }
         Ok(_) => panic!("the tampered binary must not verify"),

@@ -58,7 +58,10 @@ fn main() {
     // 1. The buggy version is rejected at compile time.
     match compile_for(BUGGY, Config::OurSeg) {
         Err(CompileError::Taint(errors)) => {
-            println!("ConfLLVM rejected the buggy server with {} error(s):", errors.len());
+            println!(
+                "ConfLLVM rejected the buggy server with {} error(s):",
+                errors.len()
+            );
             for e in &errors {
                 println!("  {e}");
             }

@@ -7,7 +7,13 @@ use confllvm_repro::core::{compile_for, vm_for, Config};
 use confllvm_repro::vm::World;
 use confllvm_repro::workloads::{nginx, privado};
 
-fn observable_for(source: &str, config: Config, world: World, entry: &str, args: &[i64]) -> Vec<u8> {
+fn observable_for(
+    source: &str,
+    config: Config,
+    world: World,
+    entry: &str,
+    args: &[i64],
+) -> Vec<u8> {
     let compiled = compile_for(source, config).expect("compiles");
     let mut vm = vm_for(&compiled, world).expect("loads");
     let result = vm.run_function(entry, args);
@@ -31,7 +37,11 @@ fn nginx_observable_output_is_independent_of_private_file_content() {
         let b = observable_for(nginx::SOURCE, config, make_world(0x77), "serve", &[2, 1024]);
         // The *declassified* (encrypted) payload differs, so we compare only
         // lengths and the log structure here…
-        assert_eq!(a.len(), b.len(), "observable length must not depend on secrets");
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "observable length must not depend on secrets"
+        );
         // …and, crucially, neither run contains the raw secret bytes.
         assert!(!a.windows(32).any(|w| w == [0x11u8; 32]));
         assert!(!b.windows(32).any(|w| w == [0x77u8; 32]));
@@ -73,7 +83,7 @@ fn password_checker_public_outputs_agree_across_secrets() {
 #[test]
 fn privado_declassified_result_is_the_only_secret_dependent_output() {
     let compiled = compile_for(privado::SOURCE, Config::OurMpx).expect("compiles");
-    let mut mk = |fill: u8| {
+    let mk = |fill: u8| {
         let mut w = World::new();
         w.add_secret_file("image", &vec![fill; 3072]);
         let mut vm = vm_for(&compiled, w).expect("loads");

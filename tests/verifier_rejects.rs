@@ -49,7 +49,8 @@ fn compiled_mpx_binary_passes_confverify() {
 #[test]
 fn compiled_segment_binary_passes_confverify() {
     let compiled = compile_for(APP, Config::OurSeg).unwrap();
-    let report = verify(&compiled.binary()).unwrap_or_else(|e| panic!("verification failed: {e:?}"));
+    let report =
+        verify(&compiled.binary()).unwrap_or_else(|e| panic!("verification failed: {e:?}"));
     assert!(report.procedures >= 3);
     assert!(report.indirect_calls_checked == 0);
 }
@@ -72,12 +73,21 @@ fn dropping_a_bound_check_is_rejected() {
     // reasoning cannot justify all of them.
     let mut dropped = 0;
     for inst in &mut program.insts {
-        if matches!(inst, MInst::BndCheck { bnd: BndReg::Bnd1, .. }) {
+        if matches!(
+            inst,
+            MInst::BndCheck {
+                bnd: BndReg::Bnd1,
+                ..
+            }
+        ) {
             *inst = MInst::Nop;
             dropped += 1;
         }
     }
-    assert!(dropped > 0, "instrumented program must contain private-region checks");
+    assert!(
+        dropped > 0,
+        "instrumented program must contain private-region checks"
+    );
     let errs = verify(&program.encode()).unwrap_err();
     assert!(
         errs.iter().any(|e| e.message.contains("no bound check")),
@@ -153,8 +163,9 @@ fn private_store_to_public_memory_is_rejected() {
     }
     let errs = verify(&program.encode()).unwrap_err();
     assert!(
-        errs.iter()
-            .any(|e| e.message.contains("store of a private register into public")),
+        errs.iter().any(|e| e
+            .message
+            .contains("store of a private register into public")),
         "expected a store-taint error, got {errs:?}"
     );
 }
