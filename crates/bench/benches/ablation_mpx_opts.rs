@@ -1,7 +1,8 @@
-//! Ablation: the MPX check optimisations of Section 5.1 (displacement
-//! folding, check coalescing, chkstk-based stack-check elimination) —
-//! full MPX instrumentation with and without them.
-use confllvm_core::codegen::{compile_module_with_entry, MpxOptimizations};
+//! Ablation: the MPX check optimisation pipelines — full MPX
+//! instrumentation with the complete machine pipeline (Section 5.1 trio plus
+//! loop hoisting and cross-block elimination), with the Section 5.1 trio
+//! only, and with no machine passes at all.
+use confllvm_core::codegen::{compile_module_with_entry, PIPELINE_MPX_FULL, PIPELINE_MPX_PR1};
 use confllvm_core::ir::{infer, lower, InferOptions, PassOptions};
 use confllvm_core::minic::{parse, Sema};
 use confllvm_core::vm::{Vm, VmOptions, World};
@@ -9,14 +10,14 @@ use confllvm_core::Config;
 use confllvm_workloads::spec;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn cycles_with_mpx_opts(source: &str, size: i64, mpx: MpxOptimizations) -> u64 {
+fn cycles_with_pipeline(source: &str, size: i64, passes: &str) -> u64 {
     let ast = parse(source).expect("parses");
     let sema = Sema::analyze(&ast).expect("sema");
     let mut module = lower(&ast, &sema, "ablation").expect("lowers");
     confllvm_core::ir::passes::run(&mut module, PassOptions::default());
     infer(&mut module, InferOptions::default()).expect("infers");
     let mut cg = Config::OurMpx.codegen_options();
-    cg.mpx = mpx;
+    cg.passes = passes.to_string();
     let (program, _) = compile_module_with_entry(&module, &cg, "run").expect("compiles");
     let mut vm = Vm::new(&program, VmOptions::default(), World::new()).expect("loads");
     let r = vm.run_function("run", &[size]);
@@ -28,12 +29,13 @@ fn bench_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_mpx_opts");
     group.sample_size(10);
     let kernel = spec::KERNELS[0];
-    for (label, mpx) in [
-        ("optimised", MpxOptimizations::default()),
-        ("unoptimised", MpxOptimizations::none()),
+    for (label, passes) in [
+        ("full-pipeline", PIPELINE_MPX_FULL),
+        ("pr1-trio", PIPELINE_MPX_PR1),
+        ("unoptimised", ""),
     ] {
-        group.bench_with_input(BenchmarkId::new("bzip2", label), &mpx, |b, m| {
-            b.iter(|| cycles_with_mpx_opts(kernel.source, 3, *m))
+        group.bench_with_input(BenchmarkId::new("bzip2", label), &passes, |b, p| {
+            b.iter(|| cycles_with_pipeline(kernel.source, 3, p))
         });
     }
     group.finish();

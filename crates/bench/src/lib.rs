@@ -10,6 +10,7 @@
 //! factor, and how the gap moves with the workload parameter (see
 //! EXPERIMENTS.md).
 
+use confllvm_core::codegen::{PIPELINE_MPX_FULL, PIPELINE_MPX_PR1};
 use confllvm_core::Config;
 use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
 
@@ -192,6 +193,92 @@ pub fn fig8_merkle(blocks: usize, block_size: usize, max_threads: usize) -> Figu
     }
 }
 
+/// One row of the pass-manager ablation: the same workload compiled under
+/// OurMPX with the PR-1 pipeline (the three Section 5.1 optimisations) and
+/// with the full pipeline (plus loop hoisting and cross-block elimination).
+#[derive(Debug, Clone)]
+pub struct AblationPassesRow {
+    pub workload: &'static str,
+    pub checks_pr1: u64,
+    pub checks_full: u64,
+    pub cycles_pr1: u64,
+    pub cycles_full: u64,
+}
+
+impl AblationPassesRow {
+    /// Did the new passes strictly reduce both executed checks and cycles?
+    pub fn improved(&self) -> bool {
+        self.checks_full < self.checks_pr1 && self.cycles_full < self.cycles_pr1
+    }
+}
+
+/// Run every SPEC stand-in under OurMPX with the PR-1 and the full machine
+/// pipeline, measuring executed bound checks and simulated cycles.
+pub fn ablation_passes_rows(scale: i64) -> Vec<AblationPassesRow> {
+    let mut rows = Vec::new();
+    for kernel in spec::KERNELS {
+        let mut k = *kernel;
+        k.size = (k.size / scale.max(1)).max(2);
+        let pr1 = spec::run_with_passes(&k, Config::OurMpx, PIPELINE_MPX_PR1);
+        let full = spec::run_with_passes(&k, Config::OurMpx, PIPELINE_MPX_FULL);
+        assert_eq!(
+            pr1.exit_code(),
+            full.exit_code(),
+            "{}: pipelines must not change results",
+            kernel.name
+        );
+        rows.push(AblationPassesRow {
+            workload: kernel.name,
+            checks_pr1: pr1.result.checks_executed(),
+            checks_full: full.result.checks_executed(),
+            cycles_pr1: pr1.result.cycles(),
+            cycles_full: full.result.cycles(),
+        });
+    }
+    rows
+}
+
+/// The `ablation_passes` section: what cross-block redundant-check
+/// elimination and loop-invariant hoisting buy on top of the Section 5.1
+/// optimisations, per workload, in executed checks and simulated cycles.
+pub fn ablation_passes_table(scale: i64) -> String {
+    let rows = ablation_passes_rows(scale);
+    let mut out = String::new();
+    out.push_str("== Ablation — machine pass pipelines on OurMPX (pr1 = Section 5.1 trio, full = +hoist +cross-block)\n");
+    out.push_str(&format!(
+        "{:<12}{:>14}{:>14}{:>9}{:>14}{:>14}{:>9}\n",
+        "", "checks pr1", "checks full", "Δ%", "cycles pr1", "cycles full", "Δ%"
+    ));
+    let pct = |a: u64, b: u64| {
+        if a == 0 {
+            0.0
+        } else {
+            (a as f64 - b as f64) / a as f64 * 100.0
+        }
+    };
+    let mut improved = 0;
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<12}{:>14}{:>14}{:>8.1}%{:>14}{:>14}{:>8.2}%\n",
+            r.workload,
+            r.checks_pr1,
+            r.checks_full,
+            pct(r.checks_pr1, r.checks_full),
+            r.cycles_pr1,
+            r.cycles_full,
+            pct(r.cycles_pr1, r.cycles_full),
+        ));
+        if r.improved() {
+            improved += 1;
+        }
+    }
+    out.push_str(&format!(
+        "{improved} of {} workloads strictly improved by the new passes\n",
+        rows.len()
+    ));
+    out
+}
+
 /// Section 7.6: the vulnerability-injection summary.
 pub fn vuln_table() -> String {
     let mut out = String::new();
@@ -247,6 +334,41 @@ mod tests {
         let rendered = f.render();
         assert!(rendered.contains("OurMPX"));
         assert!(rendered.contains("average"));
+    }
+
+    #[test]
+    fn new_passes_improve_at_least_three_workloads_and_binaries_verify() {
+        // The acceptance bar of the pass-manager refactor: on OurMPX,
+        // cross-block elimination + hoisting strictly reduce executed checks
+        // *and* simulated cycles versus the PR-1 pipeline on >= 3 workloads,
+        // and ConfVerify accepts every optimised binary.
+        let rows = ablation_passes_rows(16);
+        let improved = rows.iter().filter(|r| r.improved()).count();
+        assert!(
+            improved >= 3,
+            "only {improved} workloads improved: {rows:?}"
+        );
+        // No workload may regress in executed checks.
+        for r in &rows {
+            assert!(
+                r.checks_full <= r.checks_pr1,
+                "{} regressed: {} > {}",
+                r.workload,
+                r.checks_full,
+                r.checks_pr1
+            );
+        }
+        for kernel in spec::KERNELS {
+            let opts = confllvm_core::CompileOptions {
+                config: Config::OurMpx,
+                entry: "run".to_string(),
+                ..Default::default()
+            };
+            let compiled = confllvm_core::compile(kernel.source, &opts).unwrap();
+            let report = confllvm_verify::verify(&compiled.binary())
+                .unwrap_or_else(|e| panic!("{} failed to verify: {:?}", kernel.name, &e[..1]));
+            assert!(report.procedures > 0);
+        }
     }
 
     #[test]

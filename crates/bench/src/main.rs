@@ -2,34 +2,101 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--quick]
+//! repro [--section <name>]... [--quick] [--usage]
+//! repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting]
 //! ```
-//! With no flags, everything is reproduced.  `--quick` shrinks the workload
-//! parameters (useful in CI); the numbers remain comparable in shape.
+//! With no section selection, everything is reproduced.  `--quick` shrinks
+//! the workload parameters (useful in CI); the numbers remain comparable in
+//! shape.  `--section <name>` runs one evaluation section (repeatable); the
+//! legacy `--figN`-style flags remain as aliases.
 
 use confllvm_bench::*;
 
-const KNOWN_FLAGS: [&str; 8] = [
-    "--fig5",
-    "--fig6",
-    "--ldap",
-    "--fig7",
-    "--fig8",
-    "--vuln",
-    "--porting",
-    "--quick",
+/// Every evaluation section, with the legacy flag alias and a description.
+const SECTIONS: [(&str, &str, &str); 8] = [
+    (
+        "fig5",
+        "--fig5",
+        "SPEC CPU stand-ins, execution time vs Base",
+    ),
+    ("fig6", "--fig6", "NGINX stand-in, throughput vs Base"),
+    (
+        "ldap",
+        "--ldap",
+        "OpenLDAP stand-in, hit/miss query throughput",
+    ),
+    ("fig7", "--fig7", "Privado stand-in, classification latency"),
+    (
+        "fig8",
+        "--fig8",
+        "Merkle FS stand-in, multi-threaded read time",
+    ),
+    ("vuln", "--vuln", "Section 7.6 vulnerability injection"),
+    (
+        "porting",
+        "--porting",
+        "porting effort (annotations + trusted interface)",
+    ),
+    (
+        "ablation_passes",
+        "--ablation-passes",
+        "machine pass pipelines on OurMPX: PR-1 trio vs +hoist +cross-block",
+    ),
 ];
+
+fn usage() -> String {
+    let mut out = String::new();
+    out.push_str("usage: repro [--section <name>]... [--quick] [--usage]\n");
+    out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes]\n\n");
+    out.push_str("sections:\n");
+    for (name, _, desc) in SECTIONS {
+        out.push_str(&format!("  {name:<18}{desc}\n"));
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if let Some(bad) = args.iter().find(|a| !KNOWN_FLAGS.contains(&a.as_str())) {
-        eprintln!("error: unknown flag `{bad}`");
-        eprintln!("usage: repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--quick]");
-        std::process::exit(2);
+    let mut selected: Vec<&'static str> = Vec::new();
+    let mut quick = false;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--quick" => quick = true,
+            "--usage" | "--help" | "-h" => {
+                print!("{}", usage());
+                return;
+            }
+            "--section" => {
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("error: --section needs a section name");
+                    eprint!("{}", usage());
+                    std::process::exit(2);
+                };
+                match SECTIONS.iter().find(|(n, _, _)| n == name) {
+                    Some((n, _, _)) => selected.push(n),
+                    None => {
+                        eprintln!("error: unknown section `{name}`");
+                        eprint!("{}", usage());
+                        std::process::exit(2);
+                    }
+                }
+            }
+            flag => match SECTIONS.iter().find(|(_, f, _)| *f == flag) {
+                Some((n, _, _)) => selected.push(n),
+                None => {
+                    eprintln!("error: unknown flag `{flag}`");
+                    eprint!("{}", usage());
+                    std::process::exit(2);
+                }
+            },
+        }
+        i += 1;
     }
-    let all = args.is_empty() || args.iter().all(|a| a == "--quick");
-    let quick = args.iter().any(|a| a == "--quick");
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let all = selected.is_empty();
+    let want = |name: &str| all || selected.contains(&name);
 
     let spec_scale = if quick { 8 } else { 1 };
     let nginx_requests = if quick { 2 } else { 4 };
@@ -44,28 +111,31 @@ fn main() {
     let merkle_blocks = if quick { 2 } else { 8 };
     let merkle_threads = 6;
 
-    if want("--fig5") {
+    if want("fig5") {
         println!("{}", fig5_spec(spec_scale).render());
     }
-    if want("--fig6") {
+    if want("fig6") {
         println!("{}", fig6_nginx(nginx_requests, nginx_sizes).render());
     }
-    if want("--ldap") {
+    if want("ldap") {
         println!("{}", ldap_table(ldap_entries, ldap_queries).render());
     }
-    if want("--fig7") {
+    if want("fig7") {
         println!("{}", fig7_privado(privado_images).render());
     }
-    if want("--fig8") {
+    if want("fig8") {
         println!(
             "{}",
             fig8_merkle(merkle_blocks, 1024, merkle_threads).render()
         );
     }
-    if want("--vuln") {
+    if want("vuln") {
         println!("{}", vuln_table());
     }
-    if want("--porting") {
+    if want("porting") {
         println!("{}", porting_table());
+    }
+    if want("ablation_passes") {
+        println!("{}", ablation_passes_table(spec_scale));
     }
 }

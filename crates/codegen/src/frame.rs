@@ -114,6 +114,18 @@ impl FrameLayout {
         self.slots.get(&v).copied()
     }
 
+    /// The rsp-relative displacement a slot is addressed with under the MPX
+    /// scheme: private slots live `private_stack_offset` above the public
+    /// lock-step frame.  Machine passes use this to map stack stores back to
+    /// the value whose home they overwrite.
+    pub fn slot_disp(slot: Slot, split_stacks: bool, private_stack_offset: i64) -> i32 {
+        if slot.taint == Taint::Private && split_stacks {
+            slot.offset + private_stack_offset as i32
+        } else {
+            slot.offset
+        }
+    }
+
     pub fn alloca(&self, v: ValueId) -> Option<AllocaArea> {
         self.allocas.get(&v).copied()
     }

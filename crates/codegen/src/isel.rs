@@ -7,10 +7,19 @@
 //! private (lock-step) stack, every user-level memory access is preceded by
 //! the bound checks or segment prefixes of the selected scheme, and calls,
 //! returns and indirect calls carry the taint-aware CFI instrumentation.
+//!
+//! Under the MPX scheme the selector emits checks *naively* — a full bndcl /
+//! bndcu pair before every memory access, stack slots included — and records
+//! a [`CheckSite`] for each pair.  The machine-level pass manager
+//! ([`crate::mpass`]) then removes the redundant ones according to the
+//! configured pipeline; an empty pipeline therefore corresponds to the
+//! paper's fully unoptimised ablation baseline.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
-use confllvm_ir::{BinOp, CmpOp, Function, Inst, MemSize, Module, Operand, Terminator, ValueId};
+use confllvm_ir::{
+    BinOp, BlockId, CmpOp, Function, Inst, MemSize, Module, Operand, Terminator, ValueId,
+};
 use confllvm_machine::{
     trap, AluOp, BndReg, Cond, MInst, MemOperand, MemoryLayout, Reg, RegImm, Scheme, Seg, Taint,
     ARG_REGS, RET_REG, SCRATCH0, SCRATCH1, SCRATCH2,
@@ -18,6 +27,51 @@ use confllvm_machine::{
 
 use crate::frame::FrameLayout;
 use crate::options::CodegenOptions;
+
+/// What a bound-check pair protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// An rsp-relative access to the function's own frame (spills, slots,
+    /// stack arguments) — removable when `_chkstk` enforcement is on.
+    Stack,
+    /// A user-level access through a pointer value.
+    User,
+}
+
+/// One emitted bndcl/bndcu pair, with enough provenance for the machine
+/// passes to reason about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckSite {
+    /// Instruction indices of the lower and upper check.
+    pub lower: usize,
+    pub upper: usize,
+    pub kind: CheckKind,
+    /// IR block the access belongs to.
+    pub block: BlockId,
+    /// For user checks: the base value of the checked operand (None for
+    /// stack checks and for checks of directly materialised global
+    /// addresses).
+    pub base_val: Option<ValueId>,
+    /// Global-table index when the checked base is a global's address (a
+    /// link-time constant).
+    pub global: Option<u32>,
+    /// Displacement of the checked memory operand.
+    pub disp: i32,
+    /// Region taint the check enforces (meaningless for stack checks).
+    pub taint: Taint,
+}
+
+/// The machine span of one IR block inside [`CompiledFunction::insts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MBlock {
+    pub id: BlockId,
+    /// First instruction of the block (the entry block includes the
+    /// prologue).
+    pub start: usize,
+    /// First instruction of the terminator sequence — the insertion point
+    /// for code hoisted to the end of the block.
+    pub term_start: usize,
+}
 
 /// A placeholder in the instruction stream whose final value depends on the
 /// magic prefixes chosen at link time.
@@ -49,10 +103,19 @@ pub struct CompiledFunction {
     /// Taints encoded into the procedure's call magic word.
     pub arg_taints: [Taint; 4],
     pub ret_taint: Taint,
-    /// Counts used by reports: how many bound checks / CFI checks were
-    /// emitted.
+    /// Counts used by reports: how many bound checks / CFI checks remain
+    /// after the machine passes.
     pub bound_checks: usize,
     pub cfi_checks: usize,
+    /// Every emitted bndcl/bndcu pair (maintained by the machine passes).
+    pub check_sites: Vec<CheckSite>,
+    /// Machine spans of the IR blocks, in emission order.
+    pub mblocks: Vec<MBlock>,
+    /// The frame layout the code was emitted against.  The machine passes
+    /// must reason with exactly this layout (slot displacements feed the
+    /// kill sets and hoisted rematerialisations), so it travels with the
+    /// function instead of being rebuilt.
+    pub frame: FrameLayout,
 }
 
 /// Errors raised during instruction selection / linking.
@@ -97,11 +160,110 @@ pub fn compile_function(
         block_labels: HashMap::new(),
         fail_label: 0,
         add_const_defs: HashMap::new(),
-        checked: HashSet::new(),
+        global_defs: HashMap::new(),
+        check_sites: Vec::new(),
+        mblocks: Vec::new(),
+        cur_block: BlockId(0),
         bound_checks: 0,
         cfi_checks: 0,
     };
     c.compile()
+}
+
+/// Compute the `v -> (base, const)` map of values defined as `base + const`
+/// — the displacement-folding addressing patterns (shared with the machine
+/// passes, which must mirror the selector's address resolution).
+pub fn add_const_defs(f: &Function) -> HashMap<ValueId, (ValueId, i64)> {
+    let mut map = HashMap::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Inst::Bin {
+                dst,
+                op: BinOp::Add,
+                lhs: Operand::Value(base),
+                rhs: Operand::Const(c),
+            } = inst
+            {
+                map.insert(*dst, (*base, *c));
+            }
+        }
+    }
+    map
+}
+
+/// Values defined by `GlobalAddr`, mapped to their global-table index.
+pub fn global_addr_defs(module: &Module, f: &Function) -> HashMap<ValueId, u32> {
+    let mut map = HashMap::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            if let Inst::GlobalAddr { dst, name } = inst {
+                if let Some(i) = module.globals.iter().position(|g| &g.name == name) {
+                    map.insert(*dst, i as u32);
+                }
+            }
+        }
+    }
+    map
+}
+
+/// The instruction sequence that materialises the value of `v` into `dst`
+/// (shared between the selector's value loads and the check-hoisting machine
+/// pass, which must re-materialise loop-invariant bases in preheaders).
+pub fn materialize_value(
+    frame: &FrameLayout,
+    opts: &CodegenOptions,
+    layout: &MemoryLayout,
+    v: ValueId,
+    dst: Reg,
+) -> Vec<MInst> {
+    let offset = layout.private_stack_offset();
+    if let Some(area) = frame.alloca(v) {
+        // The value of an alloca is its address.
+        let extra = if area.taint == Taint::Private && opts.split_stacks {
+            offset
+        } else {
+            0
+        };
+        return vec![
+            MInst::MovReg { dst, src: Reg::Rsp },
+            MInst::Alu {
+                op: AluOp::Add,
+                dst,
+                src: RegImm::Imm(area.offset as i64 + extra),
+            },
+        ];
+    }
+    let slot = frame.slot(v).unwrap_or(crate::frame::Slot {
+        offset: 0,
+        taint: Taint::Public,
+    });
+    let mem = stack_slot_mem(opts, layout, slot.offset, slot.taint);
+    vec![MInst::Load { dst, mem, size: 8 }]
+}
+
+/// Memory operand for a stack location at `off` from rsp in the frame of the
+/// given taint (the scheme-dependent half of the selector's slot addressing).
+pub fn stack_slot_mem(
+    opts: &CodegenOptions,
+    layout: &MemoryLayout,
+    off: i32,
+    taint: Taint,
+) -> MemOperand {
+    let private = taint == Taint::Private && opts.split_stacks;
+    match opts.scheme {
+        Scheme::Segment => {
+            let seg = if private { Seg::Gs } else { Seg::Fs };
+            MemOperand::base_disp(Reg::Rsp, off).with_seg(seg)
+        }
+        _ => {
+            let disp = if private {
+                off + layout.private_stack_offset() as i32
+            } else {
+                off
+            };
+            MemOperand::base_disp(Reg::Rsp, disp)
+        }
+    }
 }
 
 struct FnCompiler<'a> {
@@ -117,11 +279,13 @@ struct FnCompiler<'a> {
     block_labels: HashMap<u32, u32>,
     fail_label: u32,
     /// `v -> (base, const)` for values defined as `base + const` (used for the
-    /// MPX displacement-folding optimisation).
+    /// MPX displacement-folding addressing patterns).
     add_const_defs: HashMap<ValueId, (ValueId, i64)>,
-    /// Address values already bound-checked in the current basic block with
-    /// no intervening call (check coalescing).
-    checked: HashSet<(ValueId, Taint)>,
+    /// Values holding global addresses, for check-site provenance.
+    global_defs: HashMap<ValueId, u32>,
+    check_sites: Vec<CheckSite>,
+    mblocks: Vec<MBlock>,
+    cur_block: BlockId,
     bound_checks: usize,
     cfi_checks: usize,
 }
@@ -145,34 +309,17 @@ impl<'a> FnCompiler<'a> {
         self.insts.push(inst);
     }
 
-    fn offset(&self) -> i64 {
-        self.layout.private_stack_offset()
-    }
-
     // ----- slot addressing --------------------------------------------------
 
     /// Memory operand for a stack location at `off` from rsp in the frame of
     /// the given taint.
     fn stack_mem(&self, off: i32, taint: Taint) -> MemOperand {
-        let private = taint == Taint::Private && self.opts.split_stacks;
-        match self.opts.scheme {
-            Scheme::Segment => {
-                let seg = if private { Seg::Gs } else { Seg::Fs };
-                MemOperand::base_disp(Reg::Rsp, off).with_seg(seg)
-            }
-            _ => {
-                let disp = if private {
-                    off + self.offset() as i32
-                } else {
-                    off
-                };
-                MemOperand::base_disp(Reg::Rsp, disp)
-            }
-        }
+        stack_slot_mem(self.opts, &self.layout, off, taint)
     }
 
-    /// Emit an (optionally checked) stack access.  Stack accesses are exempt
-    /// from MPX checks when the `_chkstk` optimisation is on.
+    /// Emit a (naively checked) stack access.  Under the MPX scheme every
+    /// stack access gets a check pair here; the `mpx-skip-stack-checks`
+    /// machine pass removes them when `_chkstk` enforcement justifies it.
     fn emit_stack_access(
         &mut self,
         mem: MemOperand,
@@ -180,12 +327,22 @@ impl<'a> FnCompiler<'a> {
         store_from: Option<Reg>,
         load_to: Option<Reg>,
     ) {
-        if self.opts.scheme == Scheme::Mpx && !self.opts.mpx.skip_stack_checks {
+        if self.opts.scheme == Scheme::Mpx {
             let bnd = if taint == Taint::Private && self.opts.split_stacks {
                 BndReg::Bnd1
             } else {
                 BndReg::Bnd0
             };
+            self.check_sites.push(CheckSite {
+                lower: self.insts.len(),
+                upper: self.insts.len() + 1,
+                kind: CheckKind::Stack,
+                block: self.cur_block,
+                base_val: None,
+                global: None,
+                disp: 0,
+                taint,
+            });
             self.emit(MInst::BndCheck {
                 bnd,
                 mem: mem.clone(),
@@ -207,19 +364,11 @@ impl<'a> FnCompiler<'a> {
 
     /// Load the value of `v` into `dst`.
     fn load_value(&mut self, dst: Reg, v: ValueId) {
-        if let Some(area) = self.frame.alloca(v) {
-            // The value of an alloca is its address.
-            let extra = if area.taint == Taint::Private && self.opts.split_stacks {
-                self.offset()
-            } else {
-                0
-            };
-            self.emit(MInst::MovReg { dst, src: Reg::Rsp });
-            self.emit(MInst::Alu {
-                op: AluOp::Add,
-                dst,
-                src: RegImm::Imm(area.offset as i64 + extra),
-            });
+        if self.frame.alloca(v).is_some() {
+            let seq = materialize_value(&self.frame, self.opts, &self.layout, v, dst);
+            for inst in seq {
+                self.emit(inst);
+            }
             return;
         }
         let slot = self.frame.slot(v).unwrap_or(crate::frame::Slot {
@@ -255,11 +404,14 @@ impl<'a> FnCompiler<'a> {
     // ----- user-level memory accesses ----------------------------------------
 
     /// Resolve the address operand of a user-level load/store into a base
-    /// register plus displacement (folding `base + const` definitions when
-    /// the MPX displacement optimisation is enabled).
+    /// register plus displacement.  Under the MPX scheme `base + const`
+    /// definitions are always folded into the addressing mode (the
+    /// displacement stays small enough for the guard areas); whether the
+    /// *check* covers the base alone or the full operand is decided later by
+    /// the `mpx-fold-displacements` machine pass.
     fn resolve_address(&mut self, addr: Operand, base_reg: Reg) -> (Operand, i32) {
-        let guard = (1i64 << 20) - 1;
-        if self.opts.scheme == Scheme::Mpx && self.opts.mpx.fold_displacements {
+        let guard = MemoryLayout::MPX_GUARD_SIZE as i64 - 1;
+        if self.opts.scheme == Scheme::Mpx {
             if let Operand::Value(v) = addr {
                 if let Some((base, c)) = self.add_const_defs.get(&v).copied() {
                     if c.abs() < guard {
@@ -274,7 +426,9 @@ impl<'a> FnCompiler<'a> {
     }
 
     /// Build the memory operand (and emit the scheme's checks) for a
-    /// user-level access of the given region taint.
+    /// user-level access of the given region taint.  MPX checks are emitted
+    /// unconditionally on the full operand and recorded as a [`CheckSite`];
+    /// elimination is the machine passes' job.
     fn user_mem(
         &mut self,
         base_reg: Reg,
@@ -298,33 +452,30 @@ impl<'a> FnCompiler<'a> {
                 } else {
                     BndReg::Bnd0
                 };
-                let already = match addr_key {
-                    Operand::Value(v) if self.opts.mpx.coalesce_checks => {
-                        !self.checked.insert((v, region))
-                    }
-                    _ => false,
-                };
-                if !already {
-                    // With displacement folding the check covers the base
-                    // register only (the guard areas absorb the small
-                    // displacement); otherwise check the full operand.
-                    let check_mem = if self.opts.mpx.fold_displacements {
-                        MemOperand::base(base_reg)
-                    } else {
-                        MemOperand::base_disp(base_reg, disp)
-                    };
-                    self.emit(MInst::BndCheck {
-                        bnd,
-                        mem: check_mem.clone(),
-                        upper: false,
-                    });
-                    self.emit(MInst::BndCheck {
-                        bnd,
-                        mem: check_mem,
-                        upper: true,
-                    });
-                    self.bound_checks += 2;
-                }
+                let base_val = addr_key.as_value();
+                let global = base_val.and_then(|v| self.global_defs.get(&v).copied());
+                self.check_sites.push(CheckSite {
+                    lower: self.insts.len(),
+                    upper: self.insts.len() + 1,
+                    kind: CheckKind::User,
+                    block: self.cur_block,
+                    base_val,
+                    global,
+                    disp,
+                    taint: region,
+                });
+                let check_mem = MemOperand::base_disp(base_reg, disp);
+                self.emit(MInst::BndCheck {
+                    bnd,
+                    mem: check_mem.clone(),
+                    upper: false,
+                });
+                self.emit(MInst::BndCheck {
+                    bnd,
+                    mem: check_mem,
+                    upper: true,
+                });
+                self.bound_checks += 2;
                 MemOperand::base_disp(base_reg, disp)
             }
         }
@@ -355,20 +506,10 @@ impl<'a> FnCompiler<'a> {
     // ----- main driver -------------------------------------------------------
 
     fn compile(mut self) -> Result<CompiledFunction, CodegenError> {
-        // Pre-compute `v = base + const` definitions for displacement folding.
-        for b in &self.f.blocks {
-            for inst in &b.insts {
-                if let Inst::Bin {
-                    dst,
-                    op: BinOp::Add,
-                    lhs: Operand::Value(base),
-                    rhs: Operand::Const(c),
-                } = inst
-                {
-                    self.add_const_defs.insert(*dst, (*base, *c));
-                }
-            }
-        }
+        // Pre-compute the addressing-pattern and global-address maps shared
+        // with the machine passes.
+        self.add_const_defs = add_const_defs(self.f);
+        self.global_defs = global_addr_defs(self.module, self.f);
 
         let arg_taints = confllvm_machine::pad_arg_taints(&self.f.param_taints);
         let ret_taint = self.f.ret_taint;
@@ -419,14 +560,19 @@ impl<'a> FnCompiler<'a> {
         let blocks = self.f.blocks.clone();
         for (bi, block) in blocks.iter().enumerate() {
             let label = self.block_labels[&block.id.0];
+            // The entry block's machine span includes the prologue above.
+            let start = if bi == 0 { 0 } else { self.insts.len() };
             self.bind_label(label);
-            self.checked.clear();
-            if bi == 0 {
-                // fallthrough from the prologue
-            }
+            self.cur_block = block.id;
             for inst in &block.insts {
                 self.compile_inst(inst)?;
             }
+            let term_start = self.insts.len();
+            self.mblocks.push(MBlock {
+                id: block.id,
+                start,
+                term_start,
+            });
             self.compile_terminator(&block.term)?;
         }
 
@@ -445,6 +591,9 @@ impl<'a> FnCompiler<'a> {
             ret_taint,
             bound_checks: self.bound_checks,
             cfi_checks: self.cfi_checks,
+            check_sites: self.check_sites,
+            mblocks: self.mblocks,
+            frame: self.frame,
         })
     }
 
@@ -564,7 +713,6 @@ impl<'a> FnCompiler<'a> {
                     target: callee_idx as u32,
                 });
                 self.emit_ret_site_magic(callee_fn.ret_taint);
-                self.checked.clear();
                 if let Some(d) = dst {
                     self.store_value(RET_REG, *d);
                 }
@@ -586,7 +734,6 @@ impl<'a> FnCompiler<'a> {
                     index: index as u16,
                 });
                 self.emit_ret_site_magic(ret);
-                self.checked.clear();
                 if let Some(d) = dst {
                     self.store_value(RET_REG, *d);
                 }
@@ -641,7 +788,6 @@ impl<'a> FnCompiler<'a> {
                 self.emit_call_arguments(args);
                 self.emit(MInst::CallReg { reg: SCRATCH2 });
                 self.emit_ret_site_magic(*ret_taint);
-                self.checked.clear();
                 if let Some(d) = dst {
                     self.store_value(RET_REG, *d);
                 }
@@ -678,6 +824,16 @@ impl<'a> FnCompiler<'a> {
             Terminator::Ret { value, .. } => {
                 if let Some(v) = value {
                     self.load_operand(RET_REG, *v);
+                } else if !self.f.has_ret_value {
+                    // Scrub the return register: a void function must not
+                    // leak a stale private value to its (public-expecting)
+                    // caller — the register-clearing discipline of Section 4
+                    // applied to returns, and what lets ConfVerify classify
+                    // the return site.
+                    self.emit(MInst::MovImm {
+                        dst: RET_REG,
+                        imm: 0,
+                    });
                 }
                 if self.frame.frame_size > 0 {
                     self.emit(MInst::Alu {

@@ -5,7 +5,10 @@
 //!
 //! * lock-step public/private stack frames ([`frame`], Section 3),
 //! * MPX bound checks or segment-register prefixes on every user-level
-//!   memory access, with the MPX optimisations of Section 5.1 ([`isel`]),
+//!   memory access ([`isel`], emitted naively), with the MPX optimisations
+//!   of Section 5.1 — plus cross-block redundant-check elimination and
+//!   loop-invariant check hoisting — as machine passes under a pass manager
+//!   ([`mpass`]),
 //! * taint-aware CFI: magic words at procedure entries and return sites,
 //!   expanded returns, checked indirect calls (Section 4),
 //! * post-link selection of the unique 59-bit magic prefixes and patching of
@@ -14,12 +17,14 @@
 pub mod frame;
 pub mod isel;
 pub mod link;
+pub mod mpass;
 pub mod options;
 
 pub use frame::{AllocaArea, FrameLayout, Slot};
-pub use isel::{CodegenError, CompiledFunction, MagicPatch};
+pub use isel::{CheckKind, CheckSite, CodegenError, CompiledFunction, MBlock, MagicPatch};
 pub use link::{compile_module, compile_module_with_entry, CodegenReport};
-pub use options::{CodegenOptions, MpxOptimizations};
+pub use mpass::{MachineCtx, MachinePass, MachinePipeline, MACHINE_PASS_NAMES};
+pub use options::{CodegenOptions, MpxOptimizations, PIPELINE_MPX_FULL, PIPELINE_MPX_PR1};
 
 #[cfg(test)]
 mod tests {
@@ -116,7 +121,7 @@ mod tests {
     fn mpx_optimisations_reduce_check_count() {
         let full = CodegenOptions::mpx();
         let mut unopt = CodegenOptions::mpx();
-        unopt.mpx = MpxOptimizations::none();
+        unopt.passes = MpxOptimizations::none().pipeline();
         let (_, with_opts) = compile(PRIVATE_BUF, &full);
         let (_, without) = compile(PRIVATE_BUF, &unopt);
         assert!(
@@ -124,6 +129,38 @@ mod tests {
             "optimisations should eliminate checks: {} vs {}",
             with_opts.bound_checks,
             without.bound_checks
+        );
+        assert!(with_opts.checks_eliminated > 0);
+        assert_eq!(without.checks_eliminated, 0);
+    }
+
+    #[test]
+    fn full_pipeline_beats_the_pr1_trio() {
+        let full = CodegenOptions::mpx();
+        let mut pr1 = CodegenOptions::mpx();
+        pr1.passes = PIPELINE_MPX_PR1.to_string();
+        // A loop over a global with a constant-index access: the full
+        // pipeline hoists the `table[0]` check out of the loop.
+        let src = "
+            int table[64];
+            int sum(int n) {
+                int i; int s = 0;
+                for (i = 0; i < n; i = i + 1) {
+                    table[0] = table[0] + i;
+                    s = s + table[0];
+                }
+                return s;
+            }
+            int main() { return sum(8); }
+        ";
+        let (_, full_r) = compile(src, &full);
+        let (_, pr1_r) = compile(src, &pr1);
+        assert!(full_r.checks_hoisted > 0, "table[0] must be hoisted");
+        assert!(
+            full_r.checks_eliminated > pr1_r.checks_eliminated,
+            "cross-block elimination must remove more: {} vs {}",
+            full_r.checks_eliminated,
+            pr1_r.checks_eliminated
         );
     }
 

@@ -21,9 +21,15 @@ pub struct CodegenReport {
     pub functions: usize,
     pub instructions: usize,
     pub code_words: u32,
+    /// Bound checks remaining in the emitted code after the machine passes.
     pub bound_checks: usize,
     pub cfi_checks: usize,
     pub magic_words: usize,
+    /// Check pairs removed by the machine pipeline (skip-stack, coalescing
+    /// and cross-block elimination together).
+    pub checks_eliminated: usize,
+    /// Check pairs inserted into loop preheaders by `mpx-hoist-checks`.
+    pub checks_hoisted: usize,
     /// How many candidate prefixes were tried before a unique one was found.
     pub prefix_attempts: usize,
 }
@@ -54,10 +60,21 @@ pub fn compile_module_with_entry(
         });
     }
 
-    // 1. Compile every function.
+    // 1. Compile every function and run the machine pass pipeline over it.
+    let pipeline = crate::mpass::MachinePipeline::parse(&opts.passes)?;
+    let mut pass_report = crate::mpass::MPipelineReport::default();
     let mut compiled = Vec::new();
     for f in &module.functions {
-        compiled.push(compile_function(module, f, opts, &func_index)?);
+        let mut cf = compile_function(module, f, opts, &func_index)?;
+        let frame = cf.frame.clone();
+        let mut cx = crate::mpass::MachineCtx::new(module, f, &frame, opts);
+        pass_report.merge(&pipeline.run(&mut cf, &mut cx));
+        cf.bound_checks = cf
+            .insts
+            .iter()
+            .filter(|i| matches!(i, MInst::BndCheck { .. }))
+            .count();
+        compiled.push(cf);
     }
 
     // 2. Concatenate, remembering per-function instruction ranges.
@@ -238,6 +255,10 @@ pub fn compile_module_with_entry(
         code_words: total_words,
         bound_checks: compiled.iter().map(|c| c.bound_checks).sum(),
         cfi_checks: compiled.iter().map(|c| c.cfi_checks).sum(),
+        checks_eliminated: pass_report.changes_of("mpx-skip-stack-checks")
+            + pass_report.changes_of("mpx-coalesce-checks")
+            + pass_report.changes_of("mpx-cross-block-elim"),
+        checks_hoisted: pass_report.changes_of("mpx-hoist-checks"),
         magic_words: patches
             .iter()
             .filter(|(_, p)| {

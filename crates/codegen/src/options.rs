@@ -1,23 +1,50 @@
 //! Code-generation options: which scheme, which instrumentation, which
-//! optimisations.  The paper's evaluation configurations (Base, OurBare,
-//! OurCFI, OurMPX, OurSeg, ...) are built on top of these flags by
-//! `confllvm-core`.
+//! machine-level optimisation pipeline.
+//!
+//! Since the pass-manager refactor the MPX check optimisations of
+//! Section 5.1 are no longer independent booleans but named machine passes
+//! (see [`crate::mpass`]) listed in a textual pipeline, mirroring the IR
+//! pipelines of `confllvm_ir::pm`.  The paper's evaluation configurations
+//! (Base, OurBare, OurCFI, OurMPX, OurSeg, ...) in `confllvm-core` each name
+//! their pipeline:
+//!
+//! * [`PIPELINE_MPX_FULL`] — everything, including the cross-block
+//!   redundant-check elimination and loop-invariant check hoisting,
+//! * [`PIPELINE_MPX_PR1`] — the three original Section 5.1 optimisations
+//!   only (displacement folding, per-block check coalescing, stack-check
+//!   elision), kept as the ablation baseline,
+//! * the empty pipeline — fully unoptimised instrumentation.
+//!
+//! [`MpxOptimizations`] survives as a flag façade for callers and tests that
+//! want to toggle the three classic optimisations without writing pipeline
+//! strings; [`MpxOptimizations::pipeline`] converts it.
 
 use confllvm_machine::Scheme;
 
-/// The MPX-specific optimisations of Section 5.1.
+/// The full machine pipeline: the three Section 5.1 optimisations plus the
+/// dataflow-driven cross-block elimination and loop-invariant hoisting.
+pub const PIPELINE_MPX_FULL: &str = "mpx-skip-stack-checks,mpx-fold-displacements,\
+                                     mpx-coalesce-checks,mpx-hoist-checks,mpx-cross-block-elim";
+
+/// The pre-refactor pipeline: only the three optimisations the original
+/// reproduction implemented (no cross-block elimination, no hoisting).
+pub const PIPELINE_MPX_PR1: &str =
+    "mpx-skip-stack-checks,mpx-fold-displacements,mpx-coalesce-checks";
+
+/// The MPX-specific optimisations of Section 5.1, as independent flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MpxOptimizations {
     /// Fold small constant displacements into the memory operand and check
     /// only the base register, relying on the 1 MiB guard areas around the
-    /// regions.
+    /// regions (`mpx-fold-displacements`).
     pub fold_displacements: bool,
     /// Skip a check if the same address value was already checked against the
-    /// same region earlier in the basic block with no intervening call.
+    /// same region earlier in the basic block with no intervening call
+    /// (`mpx-coalesce-checks`).
     pub coalesce_checks: bool,
     /// Do not check rsp-relative (stack) accesses at all: the inlined
     /// `_chkstk` keeps rsp inside the stack area, so rsp (and rsp+OFFSET) are
-    /// always in bounds.
+    /// always in bounds (`mpx-skip-stack-checks`).
     pub skip_stack_checks: bool,
 }
 
@@ -40,10 +67,26 @@ impl MpxOptimizations {
             skip_stack_checks: false,
         }
     }
+
+    /// The machine-pipeline description equivalent to these flags (the
+    /// classic trio only; the full pipeline is [`PIPELINE_MPX_FULL`]).
+    pub fn pipeline(&self) -> String {
+        let mut names = Vec::new();
+        if self.skip_stack_checks {
+            names.push("mpx-skip-stack-checks");
+        }
+        if self.fold_displacements {
+            names.push("mpx-fold-displacements");
+        }
+        if self.coalesce_checks {
+            names.push("mpx-coalesce-checks");
+        }
+        names.join(",")
+    }
 }
 
 /// Full code-generation configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodegenOptions {
     /// Memory-partitioning scheme used for bounds enforcement.
     pub scheme: Scheme,
@@ -56,8 +99,9 @@ pub struct CodegenOptions {
     pub separate_trusted_memory: bool,
     /// Emit the inlined `_chkstk` stack-bounds enforcement in prologues.
     pub emit_chkstk: bool,
-    /// MPX check optimisations.
-    pub mpx: MpxOptimizations,
+    /// Machine-level optimisation pipeline (comma-separated pass names, see
+    /// [`crate::mpass`]).  Empty = no machine optimisations.
+    pub passes: String,
     /// Deterministic seed for the magic-prefix search (None = from entropy).
     pub prefix_seed: Option<u64>,
 }
@@ -70,7 +114,7 @@ impl Default for CodegenOptions {
             split_stacks: true,
             separate_trusted_memory: true,
             emit_chkstk: true,
-            mpx: MpxOptimizations::default(),
+            passes: PIPELINE_MPX_FULL.to_string(),
             prefix_seed: Some(0xC0FF_EE00),
         }
     }
@@ -85,7 +129,7 @@ impl CodegenOptions {
             split_stacks: false,
             separate_trusted_memory: false,
             emit_chkstk: false,
-            mpx: MpxOptimizations::none(),
+            passes: String::new(),
             prefix_seed: Some(0xC0FF_EE00),
         }
     }
@@ -115,8 +159,22 @@ mod tests {
     fn presets() {
         assert_eq!(CodegenOptions::baseline().scheme, Scheme::None);
         assert!(!CodegenOptions::baseline().cfi);
+        assert!(CodegenOptions::baseline().passes.is_empty());
         assert_eq!(CodegenOptions::mpx().scheme, Scheme::Mpx);
         assert!(CodegenOptions::mpx().cfi);
+        assert_eq!(CodegenOptions::mpx().passes, PIPELINE_MPX_FULL);
         assert_eq!(CodegenOptions::segment().scheme, Scheme::Segment);
+    }
+
+    #[test]
+    fn flag_facade_translates_to_pipelines() {
+        assert_eq!(MpxOptimizations::default().pipeline(), PIPELINE_MPX_PR1);
+        assert_eq!(MpxOptimizations::none().pipeline(), "");
+        let only_coalesce = MpxOptimizations {
+            coalesce_checks: true,
+            fold_displacements: false,
+            skip_stack_checks: false,
+        };
+        assert_eq!(only_coalesce.pipeline(), "mpx-coalesce-checks");
     }
 }

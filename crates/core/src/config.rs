@@ -1,7 +1,8 @@
 //! The evaluation configurations of the paper (Sections 7.1 and 7.2), mapped
 //! onto code-generation and VM options.
 
-use confllvm_codegen::{CodegenOptions, MpxOptimizations};
+use confllvm_codegen::{CodegenOptions, PIPELINE_MPX_FULL};
+use confllvm_ir::DEFAULT_IR_PIPELINE;
 use confllvm_machine::Scheme;
 use confllvm_vm::AllocatorKind;
 
@@ -91,43 +92,63 @@ impl Config {
         !matches!(self, Config::Base | Config::BaseOA)
     }
 
+    /// The IR optimisation pipeline run for this configuration (the paper
+    /// keeps the standard taint-safe clean-up passes enabled everywhere).
+    pub fn ir_pipeline(self) -> &'static str {
+        DEFAULT_IR_PIPELINE
+    }
+
+    /// The machine-level pass pipeline for this configuration.  Only the MPX
+    /// configurations carry bounds checks to optimise; see
+    /// `confllvm_codegen::mpass` for the pass catalogue.
+    pub fn machine_pipeline(self) -> &'static str {
+        match self {
+            Config::OurMpx | Config::OurMpxSep => PIPELINE_MPX_FULL,
+            _ => "",
+        }
+    }
+
     /// Code-generation options for this configuration.
     pub fn codegen_options(self) -> CodegenOptions {
+        let named = |mut o: CodegenOptions| {
+            o.passes = self.machine_pipeline().to_string();
+            o
+        };
         match self {
             Config::Base | Config::BaseOA => CodegenOptions::baseline(),
-            Config::Our1Mem => CodegenOptions {
+            Config::Our1Mem => named(CodegenOptions {
                 scheme: Scheme::None,
                 cfi: false,
                 split_stacks: false,
                 separate_trusted_memory: false,
                 emit_chkstk: false,
-                mpx: MpxOptimizations::none(),
+                passes: String::new(),
                 prefix_seed: Some(0xC0FF_EE00),
-            },
-            Config::OurBare => CodegenOptions {
+            }),
+            Config::OurBare => named(CodegenOptions {
                 scheme: Scheme::None,
                 cfi: false,
                 split_stacks: false,
                 separate_trusted_memory: true,
                 emit_chkstk: true,
-                mpx: MpxOptimizations::none(),
+                passes: String::new(),
                 prefix_seed: Some(0xC0FF_EE00),
-            },
-            Config::OurCFI => CodegenOptions {
+            }),
+            Config::OurCFI => named(CodegenOptions {
                 scheme: Scheme::None,
                 cfi: true,
                 split_stacks: false,
                 separate_trusted_memory: true,
                 emit_chkstk: true,
-                mpx: MpxOptimizations::none(),
+                passes: String::new(),
                 prefix_seed: Some(0xC0FF_EE00),
-            },
-            Config::OurMpxSep => CodegenOptions {
+            }),
+            Config::OurMpxSep => named(CodegenOptions {
                 split_stacks: false,
                 ..CodegenOptions::mpx()
-            },
-            Config::OurMpx => CodegenOptions::mpx(),
-            Config::OurSeg => CodegenOptions::segment(),
+            }),
+            Config::OurMpx => named(CodegenOptions::mpx()),
+            Config::OurSeg => named(CodegenOptions::segment()),
         }
     }
 

@@ -4,7 +4,7 @@
 //! simulator and for verifying the emitted binary with ConfVerify.
 
 use confllvm_codegen::{compile_module_with_entry, CodegenReport};
-use confllvm_ir::{infer, lower, InferOptions, PassOptions, TaintError};
+use confllvm_ir::{infer, lower, InferOptions, PassManager, TaintError};
 use confllvm_machine::{Binary, Program};
 use confllvm_minic::{parse, FrontendError, Sema};
 use confllvm_vm::{RunResult, Vm, VmOptions, World};
@@ -16,6 +16,8 @@ use crate::config::Config;
 pub enum CompileError {
     /// Lexing, parsing or semantic analysis failed.
     Frontend(FrontendError),
+    /// An invalid `-Zpasses`-style pipeline description.
+    Pipeline(confllvm_ir::PipelineError),
     /// The qualifier inference found information-flow errors (e.g. private
     /// data flowing to a public sink) — the compile-time rejections of
     /// Section 2.
@@ -28,6 +30,7 @@ impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Pipeline(e) => write!(f, "{e}"),
             CompileError::Taint(errs) => {
                 writeln!(f, "{} information-flow error(s):", errs.len())?;
                 for e in errs {
@@ -60,6 +63,12 @@ pub struct CompileOptions {
     pub all_private: bool,
     /// Run the standard IR clean-up passes.
     pub optimize: bool,
+    /// `-Zpasses=...` override of the IR pipeline (comma-separated pass
+    /// names); `None` uses the configuration's named pipeline.
+    pub ir_passes: Option<String>,
+    /// Override of the machine-level pipeline; `None` uses the
+    /// configuration's named pipeline.
+    pub machine_passes: Option<String>,
     /// Entry function.
     pub entry: String,
 }
@@ -71,6 +80,8 @@ impl Default for CompileOptions {
             strict: true,
             all_private: false,
             optimize: true,
+            ir_passes: None,
+            machine_passes: None,
             entry: "main".to_string(),
         }
     }
@@ -110,12 +121,13 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileE
     let ast = parse(source)?;
     let sema = Sema::analyze(&ast)?;
     let mut module = lower(&ast, &sema, "u_module")?;
-    let pass_opts = if opts.optimize {
-        PassOptions::default()
-    } else {
-        PassOptions::none()
+    let ir_pipeline = match &opts.ir_passes {
+        Some(text) => text.clone(),
+        None if opts.optimize => opts.config.ir_pipeline().to_string(),
+        None => String::new(),
     };
-    confllvm_ir::passes::run(&mut module, pass_opts);
+    let pm = PassManager::parse(&ir_pipeline).map_err(CompileError::Pipeline)?;
+    pm.run(&mut module);
     let report = infer(
         &mut module,
         InferOptions {
@@ -124,7 +136,10 @@ pub fn compile(source: &str, opts: &CompileOptions) -> Result<Compiled, CompileE
         },
     )
     .map_err(CompileError::Taint)?;
-    let cg_opts = opts.config.codegen_options();
+    let mut cg_opts = opts.config.codegen_options();
+    if let Some(mp) = &opts.machine_passes {
+        cg_opts.passes = mp.clone();
+    }
     let (program, cg_report) =
         compile_module_with_entry(&module, &cg_opts, &opts.entry).map_err(CompileError::Codegen)?;
     Ok(Compiled {

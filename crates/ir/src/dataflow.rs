@@ -1,7 +1,16 @@
-//! A small generic forward-dataflow framework over IR CFGs, plus a liveness
-//! analysis used by the register allocator in `confllvm-codegen`.
+//! A small generic forward-dataflow framework over IR CFGs, plus the CFG
+//! analyses built on it:
+//!
+//! * [`liveness`] / [`live_across_calls`] — backwards may-liveness, used by
+//!   the register allocator in `confllvm-codegen`,
+//! * [`MustSet`] — an intersection (must) lattice for forward analyses such
+//!   as the available-bounds-checks analysis behind the cross-block
+//!   redundant-check elimination in `confllvm-codegen`,
+//! * [`dominators`] and [`natural_loops`] — the loop structure needed by the
+//!   loop-invariant check-hoisting machine pass.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 
 use crate::inst::{BlockId, Operand, ValueId};
 use crate::module::Function;
@@ -118,6 +127,222 @@ pub fn liveness(f: &Function) -> HashMap<BlockId, LiveSet> {
     live_in
 }
 
+/// An intersection ("must") lattice over an arbitrary fact type, for forward
+/// analyses such as available expressions or available bounds checks.
+///
+/// `bottom()` is the *universal* set (`All`): in a must-analysis the
+/// optimistic starting point for a not-yet-visited block is "everything is
+/// available", and `join` (set intersection) only ever shrinks it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MustSet<K: Eq + Hash + Clone> {
+    /// The universal set (top of the subset order, bottom of the join order).
+    All,
+    /// A concrete set of facts.
+    Only(HashSet<K>),
+}
+
+impl<K: Eq + Hash + Clone> MustSet<K> {
+    /// The empty set of facts.
+    pub fn empty() -> Self {
+        MustSet::Only(HashSet::new())
+    }
+
+    pub fn contains(&self, k: &K) -> bool {
+        match self {
+            MustSet::All => true,
+            MustSet::Only(s) => s.contains(k),
+        }
+    }
+
+    /// Add a fact (no-op on `All`, which already contains everything).
+    pub fn insert(&mut self, k: K) {
+        if let MustSet::Only(s) = self {
+            s.insert(k);
+        }
+    }
+
+    /// Remove every fact rejected by `keep`.  `All` is left unchanged: it is
+    /// the identity of the must-join and only arises for blocks no concrete
+    /// fact has reached yet (unreachable, or not yet visited mid-fixpoint),
+    /// where it must keep acting as the join identity.  Consumers that *act*
+    /// on facts must go through [`MustSet::as_concrete`], which treats `All`
+    /// as empty — the conservative direction.
+    pub fn retain(&mut self, keep: impl Fn(&K) -> bool) {
+        match self {
+            MustSet::All => {}
+            MustSet::Only(s) => s.retain(|k| keep(k)),
+        }
+    }
+
+    /// The concrete facts, treating the universal set as empty (conservative
+    /// for consumers that *use* availability to justify eliminations).
+    pub fn as_concrete(&self) -> HashSet<K> {
+        match self {
+            MustSet::All => HashSet::new(),
+            MustSet::Only(s) => s.clone(),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> Lattice for MustSet<K> {
+    fn bottom() -> Self {
+        MustSet::All
+    }
+
+    fn join(&mut self, other: &Self) -> bool {
+        match (&mut *self, other) {
+            (_, MustSet::All) => false,
+            (MustSet::All, MustSet::Only(o)) => {
+                *self = MustSet::Only(o.clone());
+                true
+            }
+            (MustSet::Only(s), MustSet::Only(o)) => {
+                let before = s.len();
+                s.retain(|k| o.contains(k));
+                s.len() != before
+            }
+        }
+    }
+}
+
+/// Dominator sets for every reachable block of a function, computed with the
+/// classic iterative data-flow algorithm (the CFGs here are small).
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    doms: HashMap<BlockId, HashSet<BlockId>>,
+    reachable: HashSet<BlockId>,
+}
+
+impl Dominators {
+    /// Does `a` dominate `b`?  Unreachable blocks dominate nothing and are
+    /// dominated by nothing (callers should filter them out first).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        self.reachable.contains(&a) && self.doms.get(&b).map(|d| d.contains(&a)).unwrap_or(false)
+    }
+
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable.contains(&b)
+    }
+}
+
+/// Compute the dominator sets of a function's CFG.
+pub fn dominators(f: &Function) -> Dominators {
+    let entry = f.entry();
+    let mut reachable: HashSet<BlockId> = HashSet::new();
+    let mut stack = vec![entry];
+    while let Some(b) = stack.pop() {
+        if reachable.insert(b) {
+            stack.extend(f.block(b).term.successors());
+        }
+    }
+    let all: HashSet<BlockId> = reachable.iter().copied().collect();
+    let preds = f.predecessors();
+    let mut doms: HashMap<BlockId, HashSet<BlockId>> = reachable
+        .iter()
+        .map(|&b| {
+            if b == entry {
+                (b, std::iter::once(b).collect())
+            } else {
+                (b, all.clone())
+            }
+        })
+        .collect();
+    let order: Vec<BlockId> = {
+        let mut v: Vec<BlockId> = reachable.iter().copied().collect();
+        v.sort();
+        v
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in &order {
+            if b == entry {
+                continue;
+            }
+            let mut new: Option<HashSet<BlockId>> = None;
+            for p in preds.get(&b).into_iter().flatten() {
+                if !reachable.contains(p) {
+                    continue;
+                }
+                let pd = &doms[p];
+                new = Some(match new {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut new = new.unwrap_or_default();
+            new.insert(b);
+            if new != doms[&b] {
+                doms.insert(b, new);
+                changed = true;
+            }
+        }
+    }
+    Dominators { doms, reachable }
+}
+
+/// A natural loop: a header, the blocks that jump back to it (latches), and
+/// the body (header included).  `preheader` is the unique out-of-loop
+/// predecessor of the header, present only when it unconditionally branches
+/// to the header (the safe insertion point for hoisted code).
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    pub header: BlockId,
+    pub latches: Vec<BlockId>,
+    pub body: HashSet<BlockId>,
+    pub preheader: Option<BlockId>,
+}
+
+/// Find the natural loops of a function (back edges `latch -> header` where
+/// the header dominates the latch); loops sharing a header are merged.
+pub fn natural_loops(f: &Function, doms: &Dominators) -> Vec<NaturalLoop> {
+    let preds = f.predecessors();
+    let mut by_header: HashMap<BlockId, NaturalLoop> = HashMap::new();
+    for b in &f.blocks {
+        if !doms.is_reachable(b.id) {
+            continue;
+        }
+        for succ in b.term.successors() {
+            if !doms.dominates(succ, b.id) {
+                continue;
+            }
+            // Back edge b -> succ: the body is everything that reaches the
+            // latch without passing through the header.
+            let header = succ;
+            let entry = by_header.entry(header).or_insert_with(|| NaturalLoop {
+                header,
+                latches: Vec::new(),
+                body: std::iter::once(header).collect(),
+                preheader: None,
+            });
+            entry.latches.push(b.id);
+            let mut stack = vec![b.id];
+            while let Some(n) = stack.pop() {
+                if entry.body.insert(n) {
+                    stack.extend(preds.get(&n).into_iter().flatten().copied());
+                }
+            }
+        }
+    }
+    let mut loops: Vec<NaturalLoop> = by_header.into_values().collect();
+    for l in &mut loops {
+        let outside: Vec<BlockId> = preds
+            .get(&l.header)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(|p| !l.body.contains(p) && doms.is_reachable(*p))
+            .collect();
+        if let [p] = outside[..] {
+            if matches!(f.block(p).term, crate::inst::Terminator::Br(t) if t == l.header) {
+                l.preheader = Some(p);
+            }
+        }
+    }
+    loops.sort_by_key(|l| std::cmp::Reverse(l.body.len()));
+    loops
+}
+
 /// Values live across at least one call instruction — these must go to
 /// callee-saved registers or stack slots in the register allocator.
 pub fn live_across_calls(f: &Function) -> HashSet<ValueId> {
@@ -191,6 +416,69 @@ mod tests {
     fn straight_line_has_no_call_crossing_values() {
         let f = lower_fn("int f(int a) { return a + 1; }", "f");
         assert!(live_across_calls(&f).is_empty());
+    }
+
+    #[test]
+    fn mustset_join_is_intersection() {
+        let mut a: MustSet<u32> = MustSet::bottom();
+        let mut b = MustSet::empty();
+        b.insert(1);
+        b.insert(2);
+        assert!(
+            a.join(&b),
+            "bottom (All) must collapse to the first operand"
+        );
+        let mut c = MustSet::empty();
+        c.insert(2);
+        c.insert(3);
+        assert!(a.join(&c));
+        assert!(a.contains(&2));
+        assert!(!a.contains(&1));
+        assert!(!a.join(&b), "already the intersection");
+    }
+
+    #[test]
+    fn dominators_of_loop() {
+        let f = lower_fn(
+            "int f(int n) { int s = 0; int i; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }",
+            "f",
+        );
+        let doms = dominators(&f);
+        let entry = f.entry();
+        for b in &f.blocks {
+            if doms.is_reachable(b.id) {
+                assert!(doms.dominates(entry, b.id), "entry dominates {}", b.id);
+            }
+        }
+        let loops = natural_loops(&f, &doms);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert!(!l.latches.is_empty());
+        assert!(l.body.len() >= 3, "header, body and step blocks");
+        let ph = l.preheader.expect("for-loops have a preheader");
+        assert!(!l.body.contains(&ph));
+        // Every body block is dominated by the header.
+        for b in &l.body {
+            assert!(doms.dominates(l.header, *b));
+        }
+    }
+
+    #[test]
+    fn nested_loops_are_both_found() {
+        let f = lower_fn(
+            "int f(int n) { int s = 0; int i; int j;
+               for (i = 0; i < n; i = i + 1) {
+                 for (j = 0; j < n; j = j + 1) { s = s + j; }
+               }
+               return s; }",
+            "f",
+        );
+        let doms = dominators(&f);
+        let loops = natural_loops(&f, &doms);
+        assert_eq!(loops.len(), 2);
+        // Outermost first (larger body).
+        assert!(loops[0].body.len() > loops[1].body.len());
+        assert!(loops[0].body.contains(&loops[1].header));
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl std::fmt::Display for BlockId {
 }
 
 /// Instruction operands: either a virtual value or an integer constant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     Value(ValueId),
     Const(i64),
@@ -104,7 +104,7 @@ impl MemSize {
 }
 
 /// Arithmetic / bitwise binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinOp {
     Add,
     Sub,
@@ -150,7 +150,7 @@ impl BinOp {
 }
 
 /// Comparison predicates (signed).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     Eq,
     Ne,

@@ -3,13 +3,17 @@
 //! The intermediate representation of the ConfLLVM reproduction, together
 //! with:
 //!
-//! * [`lower`] — lowering from the mini-C AST to the IR,
+//! * [`mod@lower`] — lowering from the mini-C AST to the IR,
 //! * [`taint`] — the type-qualifier inference of Section 5.1 (a constraint
 //!   solver over the two-point lattice replacing the paper's use of Z3),
+//! * [`pm`] — the IR pass manager: a [`pm::Pass`] trait, textual pipeline
+//!   descriptions (`"const-fold,copy-prop,cse,dce"`), ordering/requirement
+//!   declarations and per-pass statistics,
 //! * [`passes`] — the standard clean-up optimisations kept enabled by
-//!   ConfLLVM,
-//! * [`dataflow`] — a small dataflow framework plus liveness, used by the
-//!   register allocator,
+//!   ConfLLVM, registered as pass-manager passes,
+//! * [`dataflow`] — a small dataflow framework (liveness, must-sets,
+//!   dominators, natural loops) shared with the machine-layer passes in
+//!   `confllvm-codegen`,
 //! * [`display`] — textual IR dumps.
 //!
 //! ```
@@ -31,11 +35,14 @@ pub mod inst;
 pub mod lower;
 pub mod module;
 pub mod passes;
+pub mod pm;
 pub mod taint;
 
 pub use builder::FunctionBuilder;
+pub use dataflow::{dominators, natural_loops, Dominators, MustSet, NaturalLoop};
 pub use inst::{BinOp, BlockId, CmpOp, Inst, MemSize, Operand, Terminator, ValueId};
 pub use lower::lower;
 pub use module::{Block, ExternFunc, Function, Global, Module, ValueInfo};
-pub use passes::{PassOptions, PassStats};
+pub use passes::{PassOptions, PassStats, DEFAULT_IR_PIPELINE, IR_PASS_NAMES};
+pub use pm::{Pass, PassManager, PipelineError, PipelineReport};
 pub use taint::{infer, InferOptions, TaintError, TaintReport};

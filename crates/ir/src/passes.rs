@@ -1,30 +1,67 @@
-//! Standard clean-up passes run on the IR before qualifier inference and
-//! code generation.
+//! The IR optimisation passes, standing in for the "standard LLVM IR
+//! optimizations" the paper keeps enabled (Section 5.1).
 //!
-//! These stand in for the "standard LLVM IR optimizations" the paper keeps
-//! enabled (Section 5.1).  They are deliberately conservative: none of them
-//! changes the set of memory accesses in a way that would alter taint flow,
+//! Since the pass-manager refactor every optimisation here is a
+//! [`crate::pm::Pass`] registered under a stable name ([`create_pass`]), and
+//! pipelines are described textually — `"const-fold,copy-prop,cse,dce"` is
+//! the default run by every `confllvm_core::Config`.  The passes are
+//! deliberately conservative and taint-aware: none of them changes the set
+//! of memory accesses in a way that would alter taint flow (values carrying
+//! declared taint or pointee pins are never merged or propagated through),
 //! mirroring the paper's choice to disable metadata-changing optimizations.
+//!
+//! The available passes:
+//!
+//! * `const-fold` — fold `Bin`/`Cmp` on constant operands,
+//! * `copy-prop` — replace uses of `Copy` destinations with the source,
+//! * `cse` — dominator-scoped common-subexpression elimination of pure
+//!   instructions plus conservative redundant-load elimination (this is what
+//!   exposes repeated address computations to the machine layer's bounds
+//!   check elimination),
+//! * `dce` — remove side-effect-free instructions whose result is unused.
+//!
+//! [`PassOptions`] and [`run`] remain as a thin flag-based façade over the
+//! pass manager for callers that predate the textual pipelines.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
+use crate::dataflow::dominators;
 use crate::inst::{Inst, Operand, Terminator, ValueId};
 use crate::module::{Function, Module};
+use crate::pm::{PassManager, PipelineReport};
+
+/// The default optimisation pipeline, in dependency order.
+pub const DEFAULT_IR_PIPELINE: &str = "const-fold,copy-prop,cse,dce";
 
 /// Statistics reported by a pass-manager run, used in reports and tests.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PassStats {
     pub folded_constants: usize,
     pub propagated_copies: usize,
+    pub unified_exprs: usize,
     pub removed_insts: usize,
 }
 
-/// Which passes to run.  `OurBare` and friends disable the optimizations the
-/// instrumenting compiler does not support; `Base` runs all of them.
+impl PassStats {
+    /// Translate a pass-manager report into the legacy flat counters.
+    pub fn from_report(report: &PipelineReport) -> PassStats {
+        PassStats {
+            folded_constants: report.changes_of("const-fold"),
+            propagated_copies: report.changes_of("copy-prop"),
+            unified_exprs: report.changes_of("cse"),
+            removed_insts: report.changes_of("dce"),
+        }
+    }
+}
+
+/// Which passes to run — the legacy flag façade over the textual pipelines.
+/// `OurBare` and friends disable the optimizations the instrumenting
+/// compiler does not support; `Base` runs all of them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PassOptions {
     pub const_fold: bool,
     pub copy_prop: bool,
+    pub cse: bool,
     pub dce: bool,
 }
 
@@ -33,6 +70,7 @@ impl Default for PassOptions {
         PassOptions {
             const_fold: true,
             copy_prop: true,
+            cse: true,
             dce: true,
         }
     }
@@ -45,36 +83,129 @@ impl PassOptions {
         PassOptions {
             const_fold: false,
             copy_prop: false,
+            cse: false,
             dce: false,
         }
     }
+
+    /// The pipeline description equivalent to these flags.
+    pub fn pipeline(&self) -> String {
+        let mut names = Vec::new();
+        if self.const_fold {
+            names.push("const-fold");
+        }
+        if self.copy_prop {
+            names.push("copy-prop");
+        }
+        if self.cse {
+            names.push("cse");
+        }
+        if self.dce {
+            names.push("dce");
+        }
+        names.join(",")
+    }
 }
 
-/// Run the enabled passes over every function until a fixpoint (bounded by a
-/// small iteration count; each pass is individually monotone).
+/// Run the enabled passes over every function until a fixpoint, via the pass
+/// manager (kept for flag-based callers; new code should parse a pipeline).
 pub fn run(module: &mut Module, opts: PassOptions) -> PassStats {
-    let mut total = PassStats::default();
-    for f in &mut module.functions {
-        for _ in 0..4 {
-            let mut round = PassStats::default();
-            if opts.const_fold {
-                round.folded_constants += const_fold(f);
-            }
-            if opts.copy_prop {
-                round.propagated_copies += copy_propagate(f);
-            }
-            if opts.dce {
-                round.removed_insts += dead_code_elim(f);
-            }
-            total.folded_constants += round.folded_constants;
-            total.propagated_copies += round.propagated_copies;
-            total.removed_insts += round.removed_insts;
-            if round == PassStats::default() {
-                break;
-            }
-        }
+    let pm = PassManager::parse(&opts.pipeline()).expect("flag-derived pipelines are valid");
+    PassStats::from_report(&pm.run(module))
+}
+
+// ---------------------------------------------------------------------------
+// pass registry
+// ---------------------------------------------------------------------------
+
+/// All registered IR pass names, in recommended pipeline order.
+pub const IR_PASS_NAMES: &[&str] = &["const-fold", "copy-prop", "cse", "dce"];
+
+/// Instantiate a registered pass by name.
+pub fn create_pass(name: &str) -> Option<Box<dyn crate::pm::Pass>> {
+    match name {
+        "const-fold" => Some(Box::new(ConstFold)),
+        "copy-prop" => Some(Box::new(CopyProp)),
+        "cse" => Some(Box::new(Cse)),
+        "dce" => Some(Box::new(Dce)),
+        _ => None,
     }
-    total
+}
+
+struct ConstFold;
+
+impl crate::pm::Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn description(&self) -> &'static str {
+        "fold Bin/Cmp instructions with constant operands"
+    }
+
+    fn run_on_function(&self, f: &mut Function) -> usize {
+        const_fold(f)
+    }
+}
+
+struct CopyProp;
+
+impl crate::pm::Pass for CopyProp {
+    fn name(&self) -> &'static str {
+        "copy-prop"
+    }
+
+    fn description(&self) -> &'static str {
+        "replace uses of Copy destinations with the copy source"
+    }
+
+    fn run_after(&self) -> &'static [&'static str] {
+        &["const-fold"]
+    }
+
+    fn run_on_function(&self, f: &mut Function) -> usize {
+        copy_propagate(f)
+    }
+}
+
+struct Cse;
+
+impl crate::pm::Pass for Cse {
+    fn name(&self) -> &'static str {
+        "cse"
+    }
+
+    fn description(&self) -> &'static str {
+        "dominator-scoped CSE of pure instructions and redundant loads"
+    }
+
+    fn run_after(&self) -> &'static [&'static str] {
+        &["const-fold", "copy-prop"]
+    }
+
+    fn run_on_function(&self, f: &mut Function) -> usize {
+        common_subexpr_elim(f)
+    }
+}
+
+struct Dce;
+
+impl crate::pm::Pass for Dce {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn description(&self) -> &'static str {
+        "remove side-effect-free instructions whose result is unused"
+    }
+
+    fn run_after(&self) -> &'static [&'static str] {
+        &["copy-prop", "cse"]
+    }
+
+    fn run_on_function(&self, f: &mut Function) -> usize {
+        dead_code_elim(f)
+    }
 }
 
 /// Fold `Bin`/`Cmp` instructions whose operands are both constants into
@@ -223,6 +354,287 @@ fn dead_code_elim(f: &mut Function) -> usize {
     removed
 }
 
+/// Key of a pure (side-effect-free, operand-determined) instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum PureKey {
+    Bin(crate::inst::BinOp, Operand, Operand),
+    Cmp(crate::inst::CmpOp, Operand, Operand),
+    Global(String),
+    Func(String),
+}
+
+/// Symbolic base of an address expression, for the may-alias test used by
+/// redundant-load elimination.  Distinct allocas and distinct globals never
+/// alias; everything else conservatively aliases everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AddrBase {
+    Alloca(ValueId),
+    Global(u32),
+    Unknown,
+}
+
+fn may_alias(a: AddrBase, b: AddrBase) -> bool {
+    match (a, b) {
+        (AddrBase::Alloca(x), AddrBase::Alloca(y)) => x == y,
+        (AddrBase::Global(x), AddrBase::Global(y)) => x == y,
+        (AddrBase::Alloca(_), AddrBase::Global(_)) | (AddrBase::Global(_), AddrBase::Alloca(_)) => {
+            false
+        }
+        _ => true,
+    }
+}
+
+/// Dominator-scoped common-subexpression elimination.
+///
+/// Pure instructions (`Bin`, `Cmp`, `GlobalAddr`, `FuncAddr`) computed in a
+/// dominating block are reused instead of recomputed; redundant `Load`s are
+/// reused within a block (and into single-predecessor successors) as long as
+/// no intervening store may alias the loaded address and no call intervenes.
+/// Duplicates are rewritten to `Copy` so `dce` can drop them once unused.
+///
+/// Taint-awareness: values carrying a declared taint or pointee pin (casts,
+/// pointer-typed loads) never participate, so the qualifier inference sees
+/// exactly the same pinned constraint set.
+fn common_subexpr_elim(f: &mut Function) -> usize {
+    let doms = dominators(f);
+    let preds = f.predecessors();
+
+    // --- immutable prepass -------------------------------------------------
+    // Symbolic address base of every value (resolved through `+ const` and
+    // copies to a fixpoint), and the set of pinned values that must never
+    // participate in unification.
+    let mut value_bases: HashMap<ValueId, AddrBase> = HashMap::new();
+    let mut global_ids: HashMap<String, u32> = HashMap::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            match inst {
+                Inst::Alloca { dst, .. } => {
+                    value_bases.insert(*dst, AddrBase::Alloca(*dst));
+                }
+                Inst::GlobalAddr { dst, name } => {
+                    let next = global_ids.len() as u32;
+                    let id = *global_ids.entry(name.clone()).or_insert(next);
+                    value_bases.insert(*dst, AddrBase::Global(id));
+                }
+                _ => {}
+            }
+        }
+    }
+    for _ in 0..8 {
+        let mut grew = false;
+        for b in &f.blocks {
+            for inst in &b.insts {
+                let (dst, src) = match inst {
+                    Inst::Bin {
+                        dst,
+                        op: crate::inst::BinOp::Add,
+                        lhs: Operand::Value(base),
+                        rhs: Operand::Const(_),
+                    } => (*dst, *base),
+                    Inst::Copy {
+                        dst,
+                        src: Operand::Value(src),
+                    } => (*dst, *src),
+                    _ => continue,
+                };
+                if !value_bases.contains_key(&dst) {
+                    if let Some(k) = value_bases.get(&src).copied() {
+                        value_bases.insert(dst, k);
+                        grew = true;
+                    }
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    let operand_base = |op: Operand| -> AddrBase {
+        match op {
+            Operand::Value(v) => value_bases.get(&v).copied().unwrap_or(AddrBase::Unknown),
+            Operand::Const(_) => AddrBase::Unknown,
+        }
+    };
+    let pinned: HashSet<ValueId> = f
+        .values
+        .iter()
+        .enumerate()
+        .filter(|(_, info)| info.declared_taint.is_some() || info.declared_pointee.is_some())
+        .map(|(i, _)| ValueId(i as u32))
+        .collect();
+    let pin_ok = |op: Operand, dst: ValueId| -> bool {
+        if pinned.contains(&dst) {
+            return false;
+        }
+        match op {
+            Operand::Value(v) => !pinned.contains(&v),
+            Operand::Const(_) => true,
+        }
+    };
+
+    // Global replacement map: in a dominator-tree preorder walk a
+    // replacement's definition is always visited before any of its uses.
+    let mut replace: HashMap<ValueId, Operand> = HashMap::new();
+
+    // Children in the dominator tree: "p dominates c with no strictly-between
+    // dominator" — quadratic, adequate for these small CFGs.
+    let block_ids: Vec<crate::inst::BlockId> = f
+        .blocks
+        .iter()
+        .map(|b| b.id)
+        .filter(|b| doms.is_reachable(*b))
+        .collect();
+    let idom_children = |p: crate::inst::BlockId| -> Vec<crate::inst::BlockId> {
+        block_ids
+            .iter()
+            .copied()
+            .filter(|&c| {
+                c != p
+                    && doms.dominates(p, c)
+                    && !block_ids
+                        .iter()
+                        .any(|&m| m != p && m != c && doms.dominates(p, m) && doms.dominates(m, c))
+            })
+            .collect()
+    };
+
+    let mut changed = 0usize;
+    // Explicit DFS over the dominator tree with scoped pure-expression
+    // tables; available-load tables flow only into sole-predecessor children.
+    type LoadTable = HashMap<(Operand, u8), ValueId>;
+    let mut pure_scope: Vec<HashMap<PureKey, ValueId>> = Vec::new();
+    let mut stack: Vec<(crate::inst::BlockId, Option<LoadTable>, bool)> = Vec::new();
+    if doms.is_reachable(f.entry()) {
+        stack.push((f.entry(), Some(HashMap::new()), false));
+    }
+    while let Some((bid, inherited_loads, exited)) = stack.pop() {
+        if exited {
+            pure_scope.pop();
+            continue;
+        }
+        stack.push((bid, None, true));
+        pure_scope.push(HashMap::new());
+
+        let mut loads: LoadTable = inherited_loads.unwrap_or_default();
+        let bi = f
+            .blocks
+            .iter()
+            .position(|b| b.id == bid)
+            .expect("block exists");
+        for ii in 0..f.blocks[bi].insts.len() {
+            // Canonicalise operands through the replacement map.
+            {
+                let resolve = |op: &mut Operand| {
+                    let mut hops = 0;
+                    while let Operand::Value(v) = *op {
+                        match replace.get(&v) {
+                            Some(next) if hops < 32 => {
+                                *op = *next;
+                                hops += 1;
+                            }
+                            _ => break,
+                        }
+                    }
+                };
+                let inst = &mut f.blocks[bi].insts[ii];
+                match inst {
+                    Inst::Load { addr, .. } => resolve(addr),
+                    Inst::Store { addr, value, .. } => {
+                        resolve(addr);
+                        resolve(value);
+                    }
+                    Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                        resolve(lhs);
+                        resolve(rhs);
+                    }
+                    Inst::Copy { src, .. } => resolve(src),
+                    Inst::Call { args, .. } | Inst::CallExtern { args, .. } => {
+                        args.iter_mut().for_each(resolve)
+                    }
+                    Inst::CallIndirect { target, args, .. } => {
+                        resolve(target);
+                        args.iter_mut().for_each(resolve);
+                    }
+                    Inst::Alloca { .. } | Inst::GlobalAddr { .. } | Inst::FuncAddr { .. } => {}
+                }
+            }
+
+            let inst = &f.blocks[bi].insts[ii];
+            let pure_key = match inst {
+                Inst::Bin { op, lhs, rhs, .. } => Some(PureKey::Bin(*op, *lhs, *rhs)),
+                Inst::Cmp { op, lhs, rhs, .. } => Some(PureKey::Cmp(*op, *lhs, *rhs)),
+                Inst::GlobalAddr { name, .. } => Some(PureKey::Global(name.clone())),
+                Inst::FuncAddr { name, .. } => Some(PureKey::Func(name.clone())),
+                _ => None,
+            };
+            if let (Some(key), Some(dst)) = (pure_key, inst.def()) {
+                let existing = pure_scope.iter().rev().find_map(|s| s.get(&key)).copied();
+                match existing {
+                    Some(prev) if prev != dst && pin_ok(Operand::Value(prev), dst) => {
+                        f.blocks[bi].insts[ii] = Inst::Copy {
+                            dst,
+                            src: Operand::Value(prev),
+                        };
+                        replace.insert(dst, Operand::Value(prev));
+                        changed += 1;
+                    }
+                    Some(_) => {}
+                    None => {
+                        pure_scope
+                            .last_mut()
+                            .expect("scope pushed")
+                            .insert(key, dst);
+                    }
+                }
+                continue;
+            }
+
+            match &f.blocks[bi].insts[ii] {
+                Inst::Load {
+                    dst, addr, size, ..
+                } => {
+                    let (dst, lk) = (*dst, (*addr, size.bytes() as u8));
+                    match loads.get(&lk).copied() {
+                        Some(prev) if prev != dst && pin_ok(Operand::Value(prev), dst) => {
+                            f.blocks[bi].insts[ii] = Inst::Copy {
+                                dst,
+                                src: Operand::Value(prev),
+                            };
+                            replace.insert(dst, Operand::Value(prev));
+                            changed += 1;
+                        }
+                        Some(_) => {}
+                        None => {
+                            loads.insert(lk, dst);
+                        }
+                    }
+                }
+                Inst::Store { addr, .. } => {
+                    let sb = operand_base(*addr);
+                    loads.retain(|(laddr, _), _| !may_alias(operand_base(*laddr), sb));
+                }
+                Inst::Call { .. } | Inst::CallExtern { .. } | Inst::CallIndirect { .. } => {
+                    loads.clear();
+                }
+                _ => {}
+            }
+        }
+        for c in idom_children(bid) {
+            let sole_pred = preds
+                .get(&c)
+                .map(|p| p.len() == 1 && p[0] == bid)
+                .unwrap_or(false);
+            let inherit = if sole_pred {
+                Some(loads.clone())
+            } else {
+                Some(HashMap::new())
+            };
+            stack.push((c, inherit, false));
+        }
+    }
+    changed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +685,85 @@ mod tests {
         let mut m = lower_src("int f() { return 2 + 3; }");
         let stats = run(&mut m, PassOptions::none());
         assert_eq!(stats, PassStats::default());
+    }
+
+    #[test]
+    fn cse_unifies_repeated_global_address_computations() {
+        // `table[0]` is mentioned twice: both address chains must collapse to
+        // one GlobalAddr so the machine layer can coalesce their checks.
+        let mut m = lower_src(
+            "int table[16];\n\
+             int f() { table[0] = table[0] + 1; return table[0]; }",
+        );
+        let before: usize = count_global_addrs(m.function("f").unwrap());
+        let stats = run(&mut m, PassOptions::default());
+        let after = count_global_addrs(m.function("f").unwrap());
+        assert!(stats.unified_exprs > 0);
+        assert!(after < before, "{after} vs {before}");
+        assert_eq!(after, 1, "one GlobalAddr(table) must remain");
+    }
+
+    fn count_global_addrs(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::GlobalAddr { .. }))
+            .count()
+    }
+
+    #[test]
+    fn cse_forwards_repeated_loads_but_respects_stores() {
+        // Two loads of `i` with no intervening aliasing store unify; the
+        // store to `x[i]` (a different base) must not block it, while a store
+        // to `i` itself must.
+        let src = "
+            int x[8];
+            int f(int k) {
+                int i = k;
+                x[i] = x[i] + i;
+                i = i + 1;
+                return x[i];
+            }
+        ";
+        let mut m = lower_src(src);
+        let before_loads = count_loads(m.function("f").unwrap());
+        let stats = run(&mut m, PassOptions::default());
+        let after_loads = count_loads(m.function("f").unwrap());
+        assert!(stats.unified_exprs > 0);
+        assert!(
+            after_loads < before_loads,
+            "{after_loads} vs {before_loads}"
+        );
+        // After `i = i + 1` the old load of i must NOT be reused: there must
+        // still be at least two loads of i's slot (before and after).
+        assert!(after_loads >= 2);
+    }
+
+    fn count_loads(f: &Function) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count()
+    }
+
+    #[test]
+    fn cse_does_not_merge_across_calls() {
+        let src = "
+            extern int recv(int fd, char *buf, int size);
+            char buf[8];
+            int f() {
+                int a = buf[0];
+                recv(0, buf, 8);
+                int b = buf[0];
+                return a + b;
+            }
+        ";
+        let mut m = lower_src(src);
+        run(&mut m, PassOptions::default());
+        // Both loads of buf[0] must survive: the extern call may rewrite buf.
+        let loads = count_loads(m.function("f").unwrap());
+        assert!(loads >= 2, "load across the call must not be forwarded");
     }
 
     #[test]

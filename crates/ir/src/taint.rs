@@ -1,7 +1,8 @@
 //! Type-qualifier inference over the IR.
 //!
 //! This is the reproduction of the paper's flow analysis (Section 5.1): a
-//! constraint-based qualifier inference in the style of Foster et al. [29].
+//! constraint-based qualifier inference in the style of Foster et al. (their
+//! reference 29).
 //! The programmer only annotates top-level definitions; this pass propagates
 //! the `private` qualifier to every value (including the contents of local
 //! `Alloca` slots, which is how `passwd` in the paper's Figure 1 is inferred

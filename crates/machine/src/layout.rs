@@ -46,6 +46,12 @@ pub struct MemoryLayout {
 }
 
 impl MemoryLayout {
+    /// Size of the 1 MiB guard areas around the MPX regions.  Displacements
+    /// strictly below this can be folded out of a bounds check (the
+    /// `mpx-fold-displacements` optimisation); the code generator and the
+    /// machine passes must agree on this limit.
+    pub const MPX_GUARD_SIZE: u64 = 1 << 20;
+
     /// Build the layout for a scheme.
     ///
     /// * MPX scheme (Figure 3b): public and private regions are contiguous
@@ -75,7 +81,7 @@ impl MemoryLayout {
                     public_base + partition,
                     partition,
                     partition,
-                    1 << 20, // 1 MiB guard areas (Section 5.1 MPX optimisation)
+                    Self::MPX_GUARD_SIZE, // guard areas (Section 5.1 MPX optimisation)
                 )
             }
             Scheme::Segment => {

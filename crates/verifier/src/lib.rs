@@ -196,6 +196,8 @@ impl<'a> Verifier<'a> {
         slot_of_reg: &HashMap<Reg, i32>,
         checked_slots: &HashMap<i32, BndReg>,
         rsp_off: &HashMap<Reg, i64>,
+        global_of_reg: &HashMap<Reg, u32>,
+        checked_globals: &HashMap<u32, BndReg>,
         saw_chkstk: bool,
     ) -> Option<Taint> {
         match self.binary.header.scheme {
@@ -258,17 +260,32 @@ impl<'a> Verifier<'a> {
                         }
                     }
                 }
-                // A register is considered checked either because a bndcl/bndcu
-                // pair on it appears earlier in the block, or because its value
-                // was reloaded from a stack slot that was checked earlier in
-                // the block with no intervening call (the check-coalescing
-                // optimisation of Section 5.1).
-                let effective = checked.get(&base).copied().or_else(|| {
-                    slot_of_reg
-                        .get(&base)
-                        .and_then(|d| checked_slots.get(d))
-                        .copied()
-                });
+                // A register is considered checked because a bndcl/bndcu pair
+                // on it appears earlier, because its value was reloaded from
+                // a stack slot that was checked earlier with no intervening
+                // call (the check-coalescing optimisation of Section 5.1), or
+                // because it provably holds the address of a global whose
+                // address was checked earlier with no intervening call — a
+                // global's address is a link-time constant, so any register
+                // derived from `mov_global` of the same global holds the
+                // identical (already checked) value.  The latter justifies
+                // the compiler's cross-block elimination and loop hoisting of
+                // checks on global bases.
+                let effective = checked
+                    .get(&base)
+                    .copied()
+                    .or_else(|| {
+                        slot_of_reg
+                            .get(&base)
+                            .and_then(|d| checked_slots.get(d))
+                            .copied()
+                    })
+                    .or_else(|| {
+                        global_of_reg
+                            .get(&base)
+                            .and_then(|g| checked_globals.get(g))
+                            .copied()
+                    });
                 match effective {
                     Some(BndReg::Bnd0) => Some(Taint::Public),
                     Some(BndReg::Bnd1) => Some(Taint::Private),
@@ -308,6 +325,13 @@ impl<'a> Verifier<'a> {
         // Registers currently holding `rsp + constant` (materialised stack
         // addresses).
         let mut rsp_off: HashMap<Reg, i64> = HashMap::new();
+        // Global-address provenance, justifying the cross-block elimination
+        // and loop hoisting of checks on global bases: which global's
+        // (link-time constant) address a register or slot provably holds, and
+        // which globals' addresses have been checked since the last call.
+        let mut global_of_reg: HashMap<Reg, u32> = HashMap::new();
+        let mut global_of_slot: HashMap<i32, u32> = HashMap::new();
+        let mut checked_globals: HashMap<u32, BndReg> = HashMap::new();
         let mut saw_chkstk = false;
         let body = p.body.clone();
         let prefixes = self.prefixes();
@@ -317,14 +341,19 @@ impl<'a> Verifier<'a> {
             self.report.instructions_checked += 1;
             match inst {
                 MInst::ChkStk => saw_chkstk = true,
-                MInst::MovImm { dst, .. }
-                | MInst::MovGlobal { dst, .. }
-                | MInst::MovFunc { dst, .. }
-                | MInst::Lea { dst, .. } => {
+                MInst::MovGlobal { dst, index } => {
                     taint[dst.index()] = Taint::Public;
                     checked.remove(&dst);
                     slot_of_reg.remove(&dst);
                     rsp_off.remove(&dst);
+                    global_of_reg.insert(dst, index);
+                }
+                MInst::MovImm { dst, .. } | MInst::MovFunc { dst, .. } | MInst::Lea { dst, .. } => {
+                    taint[dst.index()] = Taint::Public;
+                    checked.remove(&dst);
+                    slot_of_reg.remove(&dst);
+                    rsp_off.remove(&dst);
+                    global_of_reg.remove(&dst);
                 }
                 MInst::MovReg { dst, src } => {
                     taint[dst.index()] = taint[src.index()];
@@ -337,6 +366,11 @@ impl<'a> Verifier<'a> {
                     } else {
                         rsp_off.remove(&dst);
                     }
+                    if let Some(g) = global_of_reg.get(&src).copied() {
+                        global_of_reg.insert(dst, g);
+                    } else {
+                        global_of_reg.remove(&dst);
+                    }
                 }
                 MInst::Alu { op, dst, src } => {
                     let s = match src {
@@ -346,6 +380,7 @@ impl<'a> Verifier<'a> {
                     taint[dst.index()] = taint[dst.index()].join(s);
                     checked.remove(&dst);
                     slot_of_reg.remove(&dst);
+                    global_of_reg.remove(&dst);
                     match (op, src, rsp_off.get(&dst).copied()) {
                         (confllvm_machine::AluOp::Add, RegImm::Imm(c), Some(o)) => {
                             rsp_off.insert(dst, o + c);
@@ -360,6 +395,7 @@ impl<'a> Verifier<'a> {
                     checked.remove(&dst);
                     slot_of_reg.remove(&dst);
                     rsp_off.remove(&dst);
+                    global_of_reg.remove(&dst);
                 }
                 MInst::Cmp { .. } | MInst::Jmp { .. } | MInst::Jcc { .. } | MInst::Nop => {}
                 MInst::BndCheck { bnd, mem, .. } => {
@@ -367,6 +403,9 @@ impl<'a> Verifier<'a> {
                         checked.insert(base, bnd);
                         if let Some(d) = slot_of_reg.get(&base) {
                             checked_slots.insert(*d, bnd);
+                        }
+                        if let Some(g) = global_of_reg.get(&base) {
+                            checked_globals.insert(*g, bnd);
                         }
                     }
                 }
@@ -378,6 +417,8 @@ impl<'a> Verifier<'a> {
                         &slot_of_reg,
                         &checked_slots,
                         &rsp_off,
+                        &global_of_reg,
+                        &checked_globals,
                         saw_chkstk,
                     ) {
                         taint[dst.index()] = t;
@@ -388,8 +429,14 @@ impl<'a> Verifier<'a> {
                     rsp_off.remove(&dst);
                     if mem.is_stack_relative() {
                         slot_of_reg.insert(dst, mem.disp);
+                        if let Some(g) = global_of_slot.get(&mem.disp).copied() {
+                            global_of_reg.insert(dst, g);
+                        } else {
+                            global_of_reg.remove(&dst);
+                        }
                     } else {
                         slot_of_reg.remove(&dst);
+                        global_of_reg.remove(&dst);
                     }
                 }
                 MInst::Store { mem, src, .. } => {
@@ -401,6 +448,8 @@ impl<'a> Verifier<'a> {
                         &slot_of_reg,
                         &checked_slots,
                         &rsp_off,
+                        &global_of_reg,
+                        &checked_globals,
                         saw_chkstk,
                     ) {
                         if !taint[src.index()].flows_to(t) {
@@ -416,8 +465,14 @@ impl<'a> Verifier<'a> {
                     }
                     if mem.is_stack_relative() {
                         // Overwriting a slot invalidates any coalesced check
-                        // associated with the pointer it used to hold.
+                        // associated with the pointer it used to hold, and
+                        // records whether the slot now holds a global address.
                         checked_slots.remove(&mem.disp);
+                        if let Some(g) = global_of_reg.get(&src).copied() {
+                            global_of_slot.insert(mem.disp, g);
+                        } else {
+                            global_of_slot.remove(&mem.disp);
+                        }
                     }
                 }
                 MInst::Push { .. } => {}
@@ -426,18 +481,26 @@ impl<'a> Verifier<'a> {
                     checked.remove(&dst);
                     slot_of_reg.remove(&dst);
                     rsp_off.remove(&dst);
+                    global_of_reg.remove(&dst);
                 }
                 MInst::LoadCode { dst, .. } => {
                     taint[dst.index()] = Taint::Public;
                     checked.remove(&dst);
                     slot_of_reg.remove(&dst);
                     rsp_off.remove(&dst);
+                    global_of_reg.remove(&dst);
                 }
                 MInst::CallDirect { target } => {
                     self.report.calls_checked += 1;
                     self.check_call_target_taints(word, target, &taint);
                     checked_slots.clear();
                     slot_of_reg.clear();
+                    // Register contents do not survive the call; the bound
+                    // registers are conservatively treated as clobbered, so
+                    // checked-global facts die with them (slot contents — and
+                    // therefore global_of_slot — persist).
+                    global_of_reg.clear();
+                    checked_globals.clear();
                     self.after_call(&mut taint, &mut checked, &body, k);
                 }
                 MInst::CallReg { .. } => {
@@ -445,6 +508,8 @@ impl<'a> Verifier<'a> {
                     self.check_indirect_call_guard(word, &body, k, &taint);
                     checked_slots.clear();
                     slot_of_reg.clear();
+                    global_of_reg.clear();
+                    checked_globals.clear();
                     self.after_call(&mut taint, &mut checked, &body, k);
                 }
                 MInst::CallExternal { index } => {
@@ -471,6 +536,8 @@ impl<'a> Verifier<'a> {
                     }
                     checked_slots.clear();
                     slot_of_reg.clear();
+                    global_of_reg.clear();
+                    checked_globals.clear();
                     self.after_call(&mut taint, &mut checked, &body, k);
                 }
                 MInst::Ret => {

@@ -40,6 +40,21 @@ pub struct CostModel {
     pub dual_issue_checks: bool,
 }
 
+impl CostModel {
+    /// Cycles one executed bound check costs, given whether the immediately
+    /// preceding instruction was a multiply/divide (dual-issue makes such a
+    /// check free).  Split out so the simulator can attribute check cycles to
+    /// the dedicated `check_cycles` counter — the number the pass-manager
+    /// ablation reads to show what check elimination buys end-to-end.
+    pub fn check_cost(&self, prev_was_muldiv: bool) -> u64 {
+        if self.dual_issue_checks && prev_was_muldiv {
+            0
+        } else {
+            self.bnd_check
+        }
+    }
+}
+
 impl Default for CostModel {
     fn default() -> Self {
         CostModel {
@@ -75,5 +90,17 @@ mod tests {
         assert!(c.cache_miss > c.load);
         assert!(c.trusted_switch > c.call);
         assert!(c.extern_base > c.trusted_switch);
+    }
+
+    #[test]
+    fn check_cost_respects_dual_issue() {
+        let c = CostModel::default();
+        assert_eq!(c.check_cost(true), 0, "dual-issued checks are free");
+        assert_eq!(c.check_cost(false), c.bnd_check);
+        let serial = CostModel {
+            dual_issue_checks: false,
+            ..CostModel::default()
+        };
+        assert_eq!(serial.check_cost(true), serial.bnd_check);
     }
 }

@@ -131,6 +131,9 @@ pub struct ExecStats {
     pub loads: u64,
     pub stores: u64,
     pub bound_checks: u64,
+    /// Cycles charged for bound checks (excludes dual-issued free checks) —
+    /// the simulated cost that check elimination removes.
+    pub check_cycles: u64,
     pub cfi_checks: u64,
     pub extern_calls: u64,
     pub extern_bytes: u64,
@@ -170,6 +173,12 @@ impl RunResult {
 
     pub fn cycles(&self) -> u64 {
         self.stats.cycles
+    }
+
+    /// Number of MPX bound checks the run actually executed — the metric the
+    /// check-elimination ablation compares across pipelines.
+    pub fn checks_executed(&self) -> u64 {
+        self.stats.bound_checks
     }
 }
 
@@ -461,9 +470,9 @@ impl Vm {
                         return Outcome::Fault(Fault::Bounds { addr, region });
                     }
                     self.stats.bound_checks += 1;
-                    if !(cost.dual_issue_checks && prev_was_muldiv) {
-                        self.charge(cost.bnd_check);
-                    }
+                    let c = cost.check_cost(prev_was_muldiv);
+                    self.stats.check_cycles += c;
+                    self.charge(c);
                 }
                 MInst::LoadCode { dst, addr } => {
                     let w = t.regs[addr.index()];

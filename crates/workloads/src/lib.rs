@@ -58,7 +58,20 @@ pub fn run_workload(
         entry: entry.to_string(),
         ..Default::default()
     };
-    let compiled = compile(source, &opts)
+    run_workload_opts(source, &opts, world, args)
+}
+
+/// Like [`run_workload`] but with full control over the compile options —
+/// the pass-manager ablations use this to pin specific pipelines.
+pub fn run_workload_opts(
+    source: &str,
+    opts: &CompileOptions,
+    world: World,
+    args: &[i64],
+) -> WorkloadRun {
+    let config = opts.config;
+    let entry = opts.entry.as_str();
+    let compiled = compile(source, opts)
         .unwrap_or_else(|e| panic!("workload failed to compile under {config}: {e}"));
     let vm_opts = VmOptions {
         allocator: config.allocator(),

@@ -77,6 +77,18 @@ pub fn run(kernel: &SpecKernel, config: Config) -> WorkloadRun {
     run_workload(kernel.source, config, World::new(), "run", &[kernel.size])
 }
 
+/// Run one kernel under a configuration with an explicit machine-pass
+/// pipeline (the pass-manager ablation).
+pub fn run_with_passes(kernel: &SpecKernel, config: Config, machine_passes: &str) -> WorkloadRun {
+    let opts = confllvm_core::CompileOptions {
+        config,
+        entry: "run".to_string(),
+        machine_passes: Some(machine_passes.to_string()),
+        ..Default::default()
+    };
+    crate::run_workload_opts(kernel.source, &opts, World::new(), &[kernel.size])
+}
+
 /// bzip2: run-length + move-to-front style byte shuffling over a buffer.
 pub const BZIP2: &str = "
     char data[4096];
@@ -304,6 +316,29 @@ mod tests {
         let base = run(&k, Config::Base).cycles();
         let mpx = run(&k, Config::OurMpx).cycles();
         assert!(mpx > base);
+    }
+
+    #[test]
+    fn coalescing_strictly_reduces_checks_executed() {
+        // The Section 5.1 claim, measured end-to-end on OurMPX: enabling
+        // `mpx-coalesce-checks` strictly reduces the number of bound checks
+        // the simulator executes.
+        let without = "mpx-skip-stack-checks,mpx-fold-displacements";
+        let with = confllvm_core::codegen::PIPELINE_MPX_PR1;
+        for kernel in &KERNELS[..3] {
+            let mut small = *kernel;
+            small.size = 2;
+            let off = run_with_passes(&small, Config::OurMpx, without);
+            let on = run_with_passes(&small, Config::OurMpx, with);
+            assert_eq!(off.exit_code(), on.exit_code(), "{}", kernel.name);
+            assert!(
+                on.result.checks_executed() < off.result.checks_executed(),
+                "{}: {} !< {}",
+                kernel.name,
+                on.result.checks_executed(),
+                off.result.checks_executed()
+            );
+        }
     }
 
     #[test]
