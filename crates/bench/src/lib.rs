@@ -11,7 +11,12 @@
 //! EXPERIMENTS.md).
 
 use confllvm_core::codegen::{PIPELINE_MPX_FULL, PIPELINE_MPX_PR1};
-use confllvm_core::Config;
+use confllvm_core::vm::World;
+use confllvm_core::{CompileOptions, Config};
+use confllvm_server::{
+    BinaryRegistry, ExecMode, RequestGen, Server, ServerOptions, SessionSpec, SetupSpec,
+    StreamKind, VerifyPolicy,
+};
 use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
 
 /// One row of a figure: a labelled series of (configuration, value) pairs.
@@ -279,6 +284,271 @@ pub fn ablation_passes_table(scale: i64) -> String {
     out
 }
 
+/// Workload parameters for one `server_throughput` run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerLoad {
+    pub sessions: usize,
+    pub requests_per_session: usize,
+    /// NGINX stream: number of private documents and response size.
+    pub files: usize,
+    pub response_size: usize,
+    /// LDAP stream: directory size and hit percentage.
+    pub entries: usize,
+    pub hit_pct: u8,
+}
+
+impl ServerLoad {
+    pub fn quick() -> Self {
+        ServerLoad {
+            sessions: 2,
+            requests_per_session: 4,
+            files: 3,
+            response_size: 512,
+            entries: 64,
+            hit_pct: 50,
+        }
+    }
+
+    pub fn full() -> Self {
+        ServerLoad {
+            sessions: 4,
+            requests_per_session: 12,
+            files: 8,
+            response_size: 2048,
+            entries: 256,
+            hit_pct: 50,
+        }
+    }
+}
+
+/// The configurations the serving section measures.  `OurMpxSep` is absent
+/// on purpose: with a single stack, private locals spill into the shared
+/// (public) stack, so its binaries fail ConfVerify's store discipline — the
+/// verify-then-load gate would refuse to serve them, which is exactly the
+/// point of the gate (the paper's deployed scheme splits the stacks).
+pub fn server_configs(quick: bool) -> &'static [Config] {
+    if quick {
+        &[Config::Base, Config::OurMpx, Config::OurSeg]
+    } else {
+        &[
+            Config::Base,
+            Config::Our1Mem,
+            Config::OurBare,
+            Config::OurCFI,
+            Config::OurMpx,
+            Config::OurSeg,
+        ]
+    }
+}
+
+/// Build a serving runtime for one workload under one configuration; the
+/// registry verifies every verifiable binary at registration (the
+/// verify-then-load gate), and admits only the uninstrumented baselines
+/// unverified.
+pub fn server_for(workload: &str, config: Config, load: &ServerLoad) -> Server {
+    let mut registry = BinaryRegistry::new(VerifyPolicy::AllowUnverifiable);
+    match workload {
+        "nginx" => {
+            let opts = CompileOptions {
+                config,
+                entry: nginx::SETUP_ENTRY.to_string(),
+                ..Default::default()
+            };
+            registry
+                .register_source(
+                    "nginx",
+                    nginx::SOURCE,
+                    &opts,
+                    Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
+                )
+                .unwrap_or_else(|e| panic!("nginx must register under {config}: {e}"));
+        }
+        "ldap" => {
+            let opts = CompileOptions {
+                config,
+                entry: ldap::SETUP_ENTRY.to_string(),
+                ..Default::default()
+            };
+            registry
+                .register_source(
+                    "ldap",
+                    &ldap::annotated_source(),
+                    &opts,
+                    Some(SetupSpec::new(ldap::SETUP_ENTRY, &[load.entries as i64])),
+                )
+                .unwrap_or_else(|e| panic!("ldap must register under {config}: {e}"));
+        }
+        other => panic!("unknown serving workload `{other}`"),
+    }
+    Server::new(registry, ServerOptions::default())
+}
+
+/// The request streams for one workload: `sessions` clients, each with its
+/// own private state (distinct secret files / passwords) and a deterministic
+/// per-session request mix.
+pub fn server_sessions(workload: &str, load: &ServerLoad) -> Vec<SessionSpec> {
+    (0..load.sessions)
+        .map(|id| {
+            let (world, kind) = match workload {
+                "nginx" => (
+                    nginx::file_world(load.files, load.response_size, id as u8),
+                    StreamKind::NginxFiles {
+                        files: load.files,
+                        response_size: load.response_size,
+                    },
+                ),
+                "ldap" => {
+                    let mut w = World::new();
+                    w.set_password("user", format!("session-{id}-secret").as_bytes());
+                    (
+                        w,
+                        StreamKind::LdapMix {
+                            entries: load.entries,
+                            hit_pct: load.hit_pct,
+                        },
+                    )
+                }
+                other => panic!("unknown serving workload `{other}`"),
+            };
+            let requests =
+                RequestGen::new(0xC0FF_EE00 + id as u64).stream(kind, load.requests_per_session);
+            SessionSpec::new(id, world, requests)
+        })
+        .collect()
+}
+
+/// One row of the serving benchmark: one workload under one configuration,
+/// cold vs pooled.
+#[derive(Debug, Clone)]
+pub struct ServerThroughputRow {
+    pub workload: &'static str,
+    pub config: Config,
+    /// Did the binary pass ConfVerify at registration?  (`false` only for
+    /// the unverifiable baselines the relaxed policy admits.)
+    pub verified: bool,
+    pub requests: u64,
+    pub cold_cycles_per_req: u64,
+    pub pooled_cycles_per_req: u64,
+    pub pooled_rps: f64,
+    pub pooled_p99: u64,
+    pub checks_per_req: u64,
+    pub tcross_pct: f64,
+    pub dirty_pages_per_req: f64,
+    pub cold_host_micros: u128,
+    pub pooled_host_micros: u128,
+}
+
+impl ServerThroughputRow {
+    /// Cold-to-pooled speedup in per-request simulated cycles.
+    pub fn speedup(&self) -> f64 {
+        if self.pooled_cycles_per_req == 0 {
+            return 0.0;
+        }
+        self.cold_cycles_per_req as f64 / self.pooled_cycles_per_req as f64
+    }
+}
+
+/// Run the serving benchmark: both request-shaped workloads, every selected
+/// configuration, cold and pooled, same deterministic streams.
+pub fn server_throughput_rows(quick: bool) -> Vec<ServerThroughputRow> {
+    let load = if quick {
+        ServerLoad::quick()
+    } else {
+        ServerLoad::full()
+    };
+    let mut rows = Vec::new();
+    for workload in ["nginx", "ldap"] {
+        for &config in server_configs(quick) {
+            let server = server_for(workload, config, &load);
+            let verified = server
+                .registry
+                .get(workload)
+                .map(|b| b.verified())
+                .unwrap_or(false);
+            let sessions = server_sessions(workload, &load);
+            let cold = server
+                .serve(workload, &sessions, ExecMode::Cold)
+                .unwrap_or_else(|e| panic!("{workload}/{config} cold: {e}"));
+            let pooled = server
+                .serve(workload, &sessions, ExecMode::Pooled)
+                .unwrap_or_else(|e| panic!("{workload}/{config} pooled: {e}"));
+            // Same streams, same binary: the serving mode must not change
+            // application results or the observable trace.
+            for (c, p) in cold.sessions.iter().zip(&pooled.sessions) {
+                assert_eq!(c.exit_codes, p.exit_codes, "{workload}/{config}");
+                assert_eq!(c.sent, p.sent, "{workload}/{config}");
+                assert_eq!(c.log, p.log, "{workload}/{config}");
+            }
+            rows.push(ServerThroughputRow {
+                workload,
+                config,
+                verified,
+                requests: pooled.metrics.requests,
+                cold_cycles_per_req: cold.metrics.mean_cycles(),
+                pooled_cycles_per_req: pooled.metrics.mean_cycles(),
+                pooled_rps: pooled.metrics.requests_per_gcycle(),
+                pooled_p99: pooled.metrics.percentile(99),
+                checks_per_req: pooled.metrics.checks_per_request(),
+                tcross_pct: pooled.metrics.tcross_pct(),
+                dirty_pages_per_req: pooled.metrics.dirty_pages_per_request(),
+                cold_host_micros: cold.host_micros,
+                pooled_host_micros: pooled.host_micros,
+            });
+        }
+    }
+    rows
+}
+
+/// The `server_throughput` section: the serving layer's cold-vs-pooled
+/// comparison (verify-then-load registry, per-session warm instances with
+/// snapshot/reset, multi-session request streams).
+pub fn server_throughput_table(quick: bool) -> String {
+    let rows = server_throughput_rows(quick);
+    let mut out = String::new();
+    out.push_str(
+        "== Serving layer — verify-then-load + VM pooling (cold = load+setup per request, pooled = snapshot/reset)\n",
+    );
+    out.push_str(&format!(
+        "{:<8}{:<12}{:>9}{:>14}{:>14}{:>9}{:>12}{:>12}{:>11}{:>10}{:>10}\n",
+        "",
+        "",
+        "verified",
+        "cold cyc/req",
+        "pool cyc/req",
+        "speedup",
+        "req/Gcyc",
+        "p99 cyc",
+        "checks/req",
+        "T-cross%",
+        "pages/req",
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<8}{:<12}{:>9}{:>14}{:>14}{:>8.1}x{:>12.1}{:>12}{:>11}{:>9.1}%{:>10.1}\n",
+            r.workload,
+            r.config.name(),
+            if r.verified { "yes" } else { "n/a" },
+            r.cold_cycles_per_req,
+            r.pooled_cycles_per_req,
+            r.speedup(),
+            r.pooled_rps,
+            r.pooled_p99,
+            r.checks_per_req,
+            r.tcross_pct,
+            r.dirty_pages_per_req,
+        ));
+    }
+    let wins = rows
+        .iter()
+        .filter(|r| r.pooled_cycles_per_req < r.cold_cycles_per_req)
+        .count();
+    out.push_str(&format!(
+        "pooled execution strictly cheaper per request on {wins} of {} workload×config combinations\n",
+        rows.len()
+    ));
+    out
+}
+
 /// Section 7.6: the vulnerability-injection summary.
 pub fn vuln_table() -> String {
     let mut out = String::new();
@@ -368,6 +638,38 @@ mod tests {
             let report = confllvm_verify::verify(&compiled.binary())
                 .unwrap_or_else(|e| panic!("{} failed to verify: {:?}", kernel.name, &e[..1]));
             assert!(report.procedures > 0);
+        }
+    }
+
+    #[test]
+    fn pooled_serving_is_strictly_cheaper_than_cold_everywhere() {
+        // The acceptance bar of the serving layer: under every measured
+        // configuration, for both request-shaped workloads, warm
+        // (snapshot/reset) execution costs strictly fewer simulated cycles
+        // per request than cold load+setup per request — and every
+        // verifiable binary went through ConfVerify at registration.
+        let rows = server_throughput_rows(true);
+        assert!(rows.iter().any(|r| r.workload == "nginx"));
+        assert!(rows.iter().any(|r| r.workload == "ldap"));
+        for r in &rows {
+            assert!(
+                r.pooled_cycles_per_req < r.cold_cycles_per_req,
+                "{}/{} pooled {} !< cold {}",
+                r.workload,
+                r.config,
+                r.pooled_cycles_per_req,
+                r.cold_cycles_per_req
+            );
+            if r.config.is_instrumented() && r.config != Config::Our1Mem {
+                assert!(
+                    r.verified,
+                    "{}/{} must be verifier-accepted",
+                    r.workload, r.config
+                );
+            }
+            if r.config == Config::OurMpx {
+                assert!(r.checks_per_req > 0, "MPX serving must execute checks");
+            }
         }
     }
 

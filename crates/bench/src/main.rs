@@ -2,57 +2,118 @@
 //!
 //! Usage:
 //! ```text
-//! repro [--section <name>]... [--quick] [--usage]
+//! repro [--section <name>[,<name>...]]... [--quick] [--usage]
 //! repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting]
 //! ```
 //! With no section selection, everything is reproduced.  `--quick` shrinks
 //! the workload parameters (useful in CI); the numbers remain comparable in
-//! shape.  `--section <name>` runs one evaluation section (repeatable); the
-//! legacy `--figN`-style flags remain as aliases.
+//! shape.  `--section <name>` runs one or more evaluation sections
+//! (repeatable, comma-separated lists accepted, e.g. `--section nginx,ldap`);
+//! the legacy `--figN`-style flags remain as aliases.
 
 use confllvm_bench::*;
 
-/// Every evaluation section, with the legacy flag alias and a description.
-const SECTIONS: [(&str, &str, &str); 8] = [
+/// Every evaluation section: canonical name, legacy flag alias, workload
+/// aliases accepted by `--section`, and a description.
+const SECTIONS: [(&str, &str, &[&str], &str); 9] = [
     (
         "fig5",
         "--fig5",
+        &["spec"],
         "SPEC CPU stand-ins, execution time vs Base",
     ),
-    ("fig6", "--fig6", "NGINX stand-in, throughput vs Base"),
+    (
+        "fig6",
+        "--fig6",
+        &["nginx"],
+        "NGINX stand-in, throughput vs Base",
+    ),
     (
         "ldap",
         "--ldap",
+        &[],
         "OpenLDAP stand-in, hit/miss query throughput",
     ),
-    ("fig7", "--fig7", "Privado stand-in, classification latency"),
+    (
+        "fig7",
+        "--fig7",
+        &["privado"],
+        "Privado stand-in, classification latency",
+    ),
     (
         "fig8",
         "--fig8",
+        &["merkle"],
         "Merkle FS stand-in, multi-threaded read time",
     ),
-    ("vuln", "--vuln", "Section 7.6 vulnerability injection"),
+    ("vuln", "--vuln", &[], "Section 7.6 vulnerability injection"),
     (
         "porting",
         "--porting",
+        &[],
         "porting effort (annotations + trusted interface)",
     ),
     (
         "ablation_passes",
         "--ablation-passes",
+        &[],
         "machine pass pipelines on OurMPX: PR-1 trio vs +hoist +cross-block",
+    ),
+    (
+        "server_throughput",
+        "--server-throughput",
+        &["server"],
+        "serving layer: verify-then-load, VM pooling, cold vs pooled request streams",
     ),
 ];
 
 fn usage() -> String {
     let mut out = String::new();
-    out.push_str("usage: repro [--section <name>]... [--quick] [--usage]\n");
-    out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes]\n\n");
+    out.push_str("usage: repro [--section <name>[,<name>...]]... [--quick] [--usage]\n");
+    out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes] [--server-throughput]\n\n");
     out.push_str("sections:\n");
-    for (name, _, desc) in SECTIONS {
-        out.push_str(&format!("  {name:<18}{desc}\n"));
+    for (name, _, aliases, desc) in SECTIONS {
+        let label = if aliases.is_empty() {
+            name.to_string()
+        } else {
+            format!("{name} ({})", aliases.join(", "))
+        };
+        out.push_str(&format!("  {label:<28}{desc}\n"));
     }
     out
+}
+
+fn valid_section_names() -> String {
+    SECTIONS
+        .iter()
+        .flat_map(|(name, _, aliases, _)| std::iter::once(*name).chain(aliases.iter().copied()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Resolve one `--section` operand (a comma-separated list of names or
+/// aliases) to canonical section names, or the first unknown name.  An
+/// operand naming no section at all (empty or only commas) is an error —
+/// silently selecting nothing would fall back to running everything.
+fn resolve_sections(list: &str) -> Result<Vec<&'static str>, String> {
+    let mut out = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        match SECTIONS
+            .iter()
+            .find(|(name, _, aliases, _)| *name == part || aliases.contains(&part))
+        {
+            Some((name, _, _, _)) => out.push(*name),
+            None => return Err(part.to_string()),
+        }
+    }
+    if out.is_empty() {
+        return Err(list.to_string());
+    }
+    Ok(out)
 }
 
 fn main() {
@@ -70,22 +131,23 @@ fn main() {
             }
             "--section" => {
                 i += 1;
-                let Some(name) = args.get(i) else {
+                let Some(list) = args.get(i) else {
                     eprintln!("error: --section needs a section name");
                     eprint!("{}", usage());
                     std::process::exit(2);
                 };
-                match SECTIONS.iter().find(|(n, _, _)| n == name) {
-                    Some((n, _, _)) => selected.push(n),
-                    None => {
-                        eprintln!("error: unknown section `{name}`");
+                match resolve_sections(list) {
+                    Ok(mut names) => selected.append(&mut names),
+                    Err(unknown) => {
+                        eprintln!("error: unknown section `{unknown}`");
+                        eprintln!("valid sections: {}", valid_section_names());
                         eprint!("{}", usage());
                         std::process::exit(2);
                     }
                 }
             }
-            flag => match SECTIONS.iter().find(|(_, f, _)| *f == flag) {
-                Some((n, _, _)) => selected.push(n),
+            flag => match SECTIONS.iter().find(|(_, f, _, _)| *f == flag) {
+                Some((n, _, _, _)) => selected.push(n),
                 None => {
                     eprintln!("error: unknown flag `{flag}`");
                     eprint!("{}", usage());
@@ -137,5 +199,8 @@ fn main() {
     }
     if want("ablation_passes") {
         println!("{}", ablation_passes_table(spec_scale));
+    }
+    if want("server_throughput") {
+        println!("{}", server_throughput_table(quick));
     }
 }

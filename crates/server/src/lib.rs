@@ -1,0 +1,48 @@
+//! # confllvm-server
+//!
+//! The paper's deployment model (Sections 2 and 7) is a *service*: a cloud
+//! provider receives an untrusted binary from a developer, runs ConfVerify on
+//! it once at load time, and — only if verification succeeds — serves many
+//! requests through it against the trusted library T.  This crate is that
+//! serving layer on top of the simulator:
+//!
+//! * [`registry`] — the **verify-then-load** binary registry.  Registration
+//!   encodes the program and runs `confllvm_verify::verify`; an unverifiable
+//!   binary is rejected *before* it can serve traffic, which is exactly the
+//!   property that removes the compiler from the TCB.
+//! * [`pool`] — a pool of warm VM instances.  Each instance is loaded once,
+//!   runs the workload's setup entry point (e.g. `populate` for the directory
+//!   server), and is snapshotted; between requests it is rewound to the
+//!   snapshot in O(dirty pages) instead of paying compile + load + setup.
+//! * [`session`] — requests and per-session state.  Every session carries its
+//!   own [`World`](confllvm_vm::World) (its private passwords / secret
+//!   files), so confidentiality can be tested end-to-end: identical request
+//!   streams over different private state must produce identical
+//!   attacker-observable output.
+//! * [`reqgen`] — a deterministic request generator for the evaluation's
+//!   request mixes (file-serving, directory hit/miss).
+//! * [`metrics`] — per-request and per-stream aggregation: throughput,
+//!   latency percentiles, executed checks, and the split between application
+//!   cycles and U↔T crossing cycles.
+//! * [`runtime`] — the [`Server`]: registry + pools + worker threads
+//!   driving many concurrent sessions, in either [`ExecMode::Cold`]
+//!   (fresh VM + setup per request) or [`ExecMode::Pooled`]
+//!   (snapshot/reset) mode.
+//!
+//! The `server_throughput` section of the `repro` driver is built on this
+//! crate and reports cold vs pooled requests/sec under each paper
+//! configuration.
+
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod reqgen;
+pub mod runtime;
+pub mod session;
+
+pub use metrics::{RequestMetrics, StreamMetrics};
+pub use pool::{PoolOptions, PooledInstance, VmPool};
+pub use registry::{BinaryRegistry, RegisterError, ServiceBinary, SetupSpec, VerifyPolicy};
+pub use reqgen::{RequestGen, StreamKind};
+pub use runtime::{ExecMode, ServeError, Server, ServerOptions, ServiceReport, SessionOutcome};
+pub use session::{Request, SessionSpec};

@@ -1,0 +1,252 @@
+//! The warm VM instance pool.
+//!
+//! A pooled instance is loaded once, initialised once (its binary's
+//! [`SetupSpec`](crate::registry::SetupSpec) entry runs with the session's
+//! private state installed), and snapshotted.  Serving a request then costs:
+//! rewind to the snapshot in O(dirty pages), queue the request, run the
+//! request entry — compile, load and setup are all skipped.  Instances are
+//! per-session, so one client's private state never bleeds into another's
+//! VM.
+
+use std::collections::HashMap;
+
+use confllvm_vm::{Outcome, Vm, VmOptions, VmSnapshot, World};
+
+use crate::registry::ServiceBinary;
+
+/// Cost accounting for the snapshot-restore, in simulated cycles.  Rewinding
+/// is not free on real hardware (madvise/memcpy of the dirtied pages), so the
+/// pool charges a base cost plus a per-page cost; the pooled-vs-cold
+/// comparison stays honest because restore cost scales with the request's
+/// write working set.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolOptions {
+    pub restore_base_cycles: u64,
+    pub restore_per_page_cycles: u64,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            // Roughly one syscall-ish boundary plus a page-copy per dirty
+            // page — the same order as a trusted-call crossing.
+            restore_base_cycles: 150,
+            restore_per_page_cycles: 40,
+        }
+    }
+}
+
+/// Why an instance could not be spawned.
+#[derive(Debug)]
+pub enum SpawnError {
+    Load(confllvm_vm::LoadError),
+    /// The setup entry faulted or exited abnormally.
+    Setup {
+        outcome: Outcome,
+    },
+}
+
+impl std::fmt::Display for SpawnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpawnError::Load(e) => write!(f, "{e}"),
+            SpawnError::Setup { outcome } => write!(f, "setup entry failed: {outcome:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SpawnError {}
+
+/// One warm instance: a loaded VM plus the post-setup snapshot it is rewound
+/// to between requests.
+#[derive(Debug)]
+pub struct PooledInstance {
+    pub vm: Vm,
+    snapshot: VmSnapshot,
+    /// Lengths of the observable channels at snapshot time, so per-request
+    /// output can be sliced out after each run.
+    pub sent_baseline: usize,
+    pub log_baseline: usize,
+    /// Simulated cycles the setup run cost (what every cold request re-pays).
+    pub setup_cycles: u64,
+    pub resets: u64,
+    pub pages_restored: u64,
+}
+
+impl PooledInstance {
+    /// Rewind to the post-setup snapshot.  Returns (dirty pages restored,
+    /// simulated restore cost).
+    pub fn reset(&mut self, opts: &PoolOptions) -> (u64, u64) {
+        let stats = self.vm.restore(&self.snapshot);
+        let dirty = stats.dirty_pages as u64;
+        self.resets += 1;
+        self.pages_restored += dirty;
+        let cost = opts.restore_base_cycles + dirty * opts.restore_per_page_cycles;
+        (dirty, cost)
+    }
+}
+
+/// A pool of per-session warm instances of one registered binary.
+#[derive(Debug)]
+pub struct VmPool {
+    binary: std::sync::Arc<ServiceBinary>,
+    vm_opts: VmOptions,
+    pub opts: PoolOptions,
+    instances: HashMap<usize, PooledInstance>,
+    pub spawned: u64,
+}
+
+impl VmPool {
+    pub fn new(
+        binary: std::sync::Arc<ServiceBinary>,
+        vm_opts: VmOptions,
+        opts: PoolOptions,
+    ) -> Self {
+        VmPool {
+            binary,
+            vm_opts,
+            opts,
+            instances: HashMap::new(),
+            spawned: 0,
+        }
+    }
+
+    /// Spawn a fresh (non-pooled) VM with `world` installed and the setup
+    /// entry run — the cold path, and the first step of instance creation.
+    /// Returns the VM and the setup run's simulated cycles.
+    pub fn spawn_cold(&self, world: &World) -> Result<(Vm, u64), SpawnError> {
+        let mut vm = Vm::new(&self.binary.program, self.vm_opts.clone(), world.clone())
+            .map_err(SpawnError::Load)?;
+        let mut setup_cycles = 0;
+        if let Some(setup) = &self.binary.setup {
+            let before = vm.stats.cycles;
+            let result = vm.run_function(&setup.entry, &setup.args);
+            if result.outcome.is_fault() {
+                return Err(SpawnError::Setup {
+                    outcome: result.outcome,
+                });
+            }
+            setup_cycles = vm.stats.cycles - before;
+        }
+        Ok((vm, setup_cycles))
+    }
+
+    /// The warm instance bound to `session`, spawning (load + setup +
+    /// snapshot) on first use.
+    pub fn instance(
+        &mut self,
+        session: usize,
+        world: &World,
+    ) -> Result<&mut PooledInstance, SpawnError> {
+        if !self.instances.contains_key(&session) {
+            let (mut vm, setup_cycles) = self.spawn_cold(world)?;
+            let sent_baseline = vm.world.sent.len();
+            let log_baseline = vm.world.log.len();
+            let snapshot = vm.snapshot();
+            self.spawned += 1;
+            self.instances.insert(
+                session,
+                PooledInstance {
+                    vm,
+                    snapshot,
+                    sent_baseline,
+                    log_baseline,
+                    setup_cycles,
+                    resets: 0,
+                    pages_restored: 0,
+                },
+            );
+        }
+        Ok(self.instances.get_mut(&session).expect("just inserted"))
+    }
+
+    /// Number of live warm instances.
+    pub fn live(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{BinaryRegistry, SetupSpec, VerifyPolicy};
+    use confllvm_core::{CompileOptions, Config};
+    use confllvm_workloads::ldap;
+
+    fn ldap_binary() -> std::sync::Arc<ServiceBinary> {
+        let mut reg = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions {
+            config: Config::OurMpx,
+            entry: ldap::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        reg.register_source(
+            "ldap",
+            &ldap::annotated_source(),
+            &opts,
+            Some(SetupSpec::new(ldap::SETUP_ENTRY, &[32])),
+        )
+        .expect("directory server must verify")
+    }
+
+    fn world() -> World {
+        let mut w = World::new();
+        w.set_password("user", b"pool-secret");
+        w
+    }
+
+    #[test]
+    fn warm_instance_serves_repeatedly_after_resets() {
+        let binary = ldap_binary();
+        let mut pool = VmPool::new(binary, VmOptions::default(), PoolOptions::default());
+        let pool_opts = pool.opts;
+        let w = world();
+        let inst = pool.instance(7, &w).unwrap();
+        assert!(inst.setup_cycles > 0, "populate must cost cycles");
+        for round in 0..3 {
+            let (_dirty, cost) = inst.reset(&pool_opts);
+            assert!(cost >= pool_opts.restore_base_cycles);
+            let r = inst
+                .vm
+                .run_function(ldap::REQUEST_ENTRY, &[ldap::present_key(4)]);
+            assert_eq!(r.exit_code(), Some(1), "round {round}: {:?}", r.outcome);
+            // Every round starts from the same snapshot, so the observable
+            // output is exactly one response past the baseline.
+            assert_eq!(inst.vm.world.sent.len() - inst.sent_baseline, 16);
+        }
+        assert_eq!(pool.live(), 1);
+        assert_eq!(pool.spawned, 1);
+    }
+
+    #[test]
+    fn sessions_get_distinct_instances_with_their_own_state() {
+        let binary = ldap_binary();
+        let mut pool = VmPool::new(binary, VmOptions::default(), PoolOptions::default());
+        let pool_opts = pool.opts;
+        let mut w1 = World::new();
+        w1.set_password("user", b"alpha-password!!");
+        let mut w2 = World::new();
+        w2.set_password("user", b"omega-password??");
+        let a = pool.instance(1, &w1).unwrap();
+        let a_resp = {
+            a.reset(&pool_opts);
+            let r =
+                a.vm.run_function(ldap::REQUEST_ENTRY, &[ldap::present_key(0)]);
+            assert_eq!(r.exit_code(), Some(1));
+            a.vm.world.sent.clone()
+        };
+        let b = pool.instance(2, &w2).unwrap();
+        let b_resp = {
+            b.reset(&pool_opts);
+            let r =
+                b.vm.run_function(ldap::REQUEST_ENTRY, &[ldap::present_key(0)]);
+            assert_eq!(r.exit_code(), Some(1));
+            b.vm.world.sent.clone()
+        };
+        assert_eq!(pool.live(), 2);
+        assert_ne!(
+            a_resp, b_resp,
+            "different private passwords declassify to different ciphertexts"
+        );
+    }
+}

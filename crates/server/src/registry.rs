@@ -1,0 +1,331 @@
+//! The verify-then-load binary registry.
+//!
+//! Deployment step one of the paper's service model: the provider receives a
+//! binary, runs ConfVerify on it, and only a verifier-accepted binary becomes
+//! servable.  The registry is the single gate — there is no way to get a
+//! [`ServiceBinary`] into a pool without passing through [`BinaryRegistry`],
+//! so "every registered binary is verifier-accepted" holds by construction
+//! under the default policy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use confllvm_core::{compile, CompileError, CompileOptions, Config};
+use confllvm_machine::Program;
+use confllvm_verify::{is_verifiable, verify, VerifyError, VerifyReport};
+
+/// What to do with binaries ConfVerify cannot check (builds without a
+/// partitioning scheme or CFI, e.g. the `Base` baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerifyPolicy {
+    /// Reject anything that is not verifier-accepted (the production
+    /// posture; unverifiable baselines cannot be registered at all).
+    #[default]
+    RequireVerified,
+    /// Let unverifiable baseline builds through *unverified* — needed to
+    /// measure `Base` in the evaluation.  Verifiable binaries are still
+    /// verified and still rejected on failure.
+    AllowUnverifiable,
+}
+
+/// Why a registration was refused.
+#[derive(Debug)]
+pub enum RegisterError {
+    /// The source path failed to compile (includes the compile-time
+    /// information-flow rejections).
+    Compile(CompileError),
+    /// The binary carries no instrumentation ConfVerify can check and the
+    /// policy demands verification.
+    Unverifiable { name: String, config: Config },
+    /// ConfVerify rejected the binary — the load-time stop of a compiler
+    /// bug or a malicious build.
+    Verify {
+        name: String,
+        errors: Vec<VerifyError>,
+    },
+    /// A binary with this name is already registered.
+    Duplicate { name: String },
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::Compile(e) => write!(f, "registration failed to compile: {e}"),
+            RegisterError::Unverifiable { name, config } => write!(
+                f,
+                "`{name}` ({config}) is not verifiable and the registry requires verification"
+            ),
+            RegisterError::Verify { name, errors } => {
+                write!(
+                    f,
+                    "`{name}` rejected by ConfVerify ({} error(s)",
+                    errors.len()
+                )?;
+                if let Some(first) = errors.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                write!(f, ")")
+            }
+            RegisterError::Duplicate { name } => write!(f, "`{name}` is already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// The once-per-instance initialisation a workload needs before it can serve
+/// (e.g. `populate(entries)` for the directory server).  Cold execution pays
+/// this on every request; pooled execution pays it once per instance and
+/// snapshots the result.
+#[derive(Debug, Clone, Default)]
+pub struct SetupSpec {
+    pub entry: String,
+    pub args: Vec<i64>,
+}
+
+impl SetupSpec {
+    pub fn new(entry: &str, args: &[i64]) -> Self {
+        SetupSpec {
+            entry: entry.to_string(),
+            args: args.to_vec(),
+        }
+    }
+}
+
+/// A registered, servable binary.
+#[derive(Debug, Clone)]
+pub struct ServiceBinary {
+    pub name: String,
+    pub config: Config,
+    pub program: Arc<Program>,
+    /// ConfVerify's report — `None` only when an unverifiable baseline was
+    /// admitted under [`VerifyPolicy::AllowUnverifiable`].
+    pub verify_report: Option<VerifyReport>,
+    /// Per-instance initialisation, if the workload needs any.
+    pub setup: Option<SetupSpec>,
+}
+
+impl ServiceBinary {
+    /// Was this binary accepted by ConfVerify (as opposed to admitted
+    /// unverified under the relaxed policy)?
+    pub fn verified(&self) -> bool {
+        self.verify_report.is_some()
+    }
+}
+
+/// The registry: name → verifier-gated binary.
+#[derive(Debug, Default)]
+pub struct BinaryRegistry {
+    policy: VerifyPolicy,
+    binaries: HashMap<String, Arc<ServiceBinary>>,
+}
+
+impl BinaryRegistry {
+    pub fn new(policy: VerifyPolicy) -> Self {
+        BinaryRegistry {
+            policy,
+            binaries: HashMap::new(),
+        }
+    }
+
+    pub fn policy(&self) -> VerifyPolicy {
+        self.policy
+    }
+
+    /// Register a binary the provider received from a developer.  This is
+    /// the load-time gate: the program is encoded to its binary form and
+    /// ConfVerify re-disassembles and checks it; rejection means the binary
+    /// never becomes servable.
+    pub fn register_program(
+        &mut self,
+        name: &str,
+        program: Program,
+        config: Config,
+        setup: Option<SetupSpec>,
+    ) -> Result<Arc<ServiceBinary>, RegisterError> {
+        if self.binaries.contains_key(name) {
+            return Err(RegisterError::Duplicate {
+                name: name.to_string(),
+            });
+        }
+        let binary = program.encode();
+        let verify_report = if is_verifiable(&binary) {
+            Some(verify(&binary).map_err(|errors| RegisterError::Verify {
+                name: name.to_string(),
+                errors,
+            })?)
+        } else {
+            match self.policy {
+                VerifyPolicy::RequireVerified => {
+                    return Err(RegisterError::Unverifiable {
+                        name: name.to_string(),
+                        config,
+                    })
+                }
+                VerifyPolicy::AllowUnverifiable => None,
+            }
+        };
+        let service = Arc::new(ServiceBinary {
+            name: name.to_string(),
+            config,
+            program: Arc::new(program),
+            verify_report,
+            setup,
+        });
+        self.binaries.insert(name.to_string(), service.clone());
+        Ok(service)
+    }
+
+    /// Convenience for the common case where the provider also builds:
+    /// compile `source` under `opts`, then go through the same
+    /// verify-then-load gate as [`BinaryRegistry::register_program`].
+    pub fn register_source(
+        &mut self,
+        name: &str,
+        source: &str,
+        opts: &CompileOptions,
+        setup: Option<SetupSpec>,
+    ) -> Result<Arc<ServiceBinary>, RegisterError> {
+        let compiled = compile(source, opts).map_err(RegisterError::Compile)?;
+        self.register_program(name, compiled.program, opts.config, setup)
+    }
+
+    pub fn get(&self, name: &str) -> Option<Arc<ServiceBinary>> {
+        self.binaries.get(name).cloned()
+    }
+
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.binaries.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    pub fn len(&self) -> usize {
+        self.binaries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.binaries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confllvm_core::compile_for;
+    use confllvm_machine::{BndReg, MInst};
+
+    const APP: &str = "
+        extern void read_passwd(char *u, private char *p, int n);
+        extern void encrypt(private char *src, char *dst, int n);
+        extern int send(int fd, char *buf, int n);
+        private int digest(private char *pw, int n) {
+            int i;
+            int acc = 0;
+            for (i = 0; i < n; i = i + 1) { acc = acc + pw[i] * 31; }
+            return acc;
+        }
+        int handle(int n) {
+            char user[8];
+            user[0] = 'a'; user[1] = 0;
+            char pw[16];
+            read_passwd(user, pw, 16);
+            private int d = digest(pw, 16);
+            char out[16];
+            encrypt(pw, out, 16);
+            send(1, out, 16);
+            return n;
+        }
+        int main() { return handle(0); }
+    ";
+
+    #[test]
+    fn verified_binary_registers_and_is_retrievable() {
+        let mut reg = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions::for_config(Config::OurMpx);
+        let b = reg
+            .register_source("auth", APP, &opts, Some(SetupSpec::new("handle", &[0])))
+            .expect("verifier-accepted binary must register");
+        assert!(b.verified());
+        assert!(b.verify_report.as_ref().unwrap().procedures >= 2);
+        assert_eq!(reg.get("auth").unwrap().name, "auth");
+        assert_eq!(reg.names(), vec!["auth".to_string()]);
+    }
+
+    #[test]
+    fn tampered_binary_is_rejected_at_load_time() {
+        // A "vuln variant": take the verifier-accepted build and strip its
+        // private-region bound checks, as a buggy or malicious compiler
+        // might.  Registration must fail with the ConfVerify errors.
+        let compiled = compile_for(APP, Config::OurMpx).unwrap();
+        let mut program = compiled.program.clone();
+        let mut dropped = 0;
+        for inst in &mut program.insts {
+            if matches!(
+                inst,
+                MInst::BndCheck {
+                    bnd: BndReg::Bnd1,
+                    ..
+                }
+            ) {
+                *inst = MInst::Nop;
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "build must contain private-region checks");
+        let mut reg = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        match reg.register_program("vuln", program, Config::OurMpx, None) {
+            Err(RegisterError::Verify { name, errors }) => {
+                assert_eq!(name, "vuln");
+                assert!(!errors.is_empty());
+            }
+            other => panic!("expected a ConfVerify rejection, got {other:?}"),
+        }
+        assert!(reg.is_empty(), "a rejected binary must not become servable");
+    }
+
+    #[test]
+    fn unverifiable_baseline_follows_policy() {
+        let opts = CompileOptions::for_config(Config::Base);
+        let mut strict = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        match strict.register_source("base", APP, &opts, None) {
+            Err(RegisterError::Unverifiable { .. }) => {}
+            other => panic!("expected Unverifiable, got {other:?}"),
+        }
+        let mut relaxed = BinaryRegistry::new(VerifyPolicy::AllowUnverifiable);
+        let b = relaxed.register_source("base", APP, &opts, None).unwrap();
+        assert!(!b.verified());
+    }
+
+    #[test]
+    fn duplicate_names_are_refused() {
+        let mut reg = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions::for_config(Config::OurMpx);
+        reg.register_source("auth", APP, &opts, None).unwrap();
+        assert!(matches!(
+            reg.register_source("auth", APP, &opts, None),
+            Err(RegisterError::Duplicate { .. })
+        ));
+    }
+
+    #[test]
+    fn leaky_source_is_rejected_at_compile_time() {
+        let leaky = "
+            extern void read_passwd(char *u, private char *p, int n);
+            extern int send(int fd, char *buf, int n);
+            int main() {
+                char user[8];
+                char pw[16];
+                read_passwd(user, pw, 16);
+                send(1, pw, 16);
+                return 0;
+            }
+        ";
+        let mut reg = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions::for_config(Config::OurMpx);
+        assert!(matches!(
+            reg.register_source("leaky", leaky, &opts, None),
+            Err(RegisterError::Compile(CompileError::Taint(_)))
+        ));
+    }
+}

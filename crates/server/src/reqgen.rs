@@ -1,0 +1,142 @@
+//! Deterministic request-stream generation.
+//!
+//! The evaluation's request mixes are generated from a seed so the same
+//! stream can be replayed exactly — across cold vs pooled modes, across
+//! configurations, and across the two runs of the observational-equivalence
+//! test.  The generator is a splitmix64, independent of the workloads' own
+//! `rng_next` so streams do not perturb in-VM randomness.
+
+use confllvm_workloads::{ldap, nginx};
+
+use crate::session::Request;
+
+/// The request mixes of the serving benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamKind {
+    /// File-serving requests over `files` private documents of
+    /// `response_size` bytes each (the NGINX stand-in).
+    NginxFiles { files: usize, response_size: usize },
+    /// Directory lookups over `entries` populated entries; `hit_pct` percent
+    /// of the lookups target present keys, the rest absent ones (the
+    /// OpenLDAP stand-in's hit/miss mixes).
+    LdapMix { entries: usize, hit_pct: u8 },
+}
+
+/// Deterministic generator (splitmix64).
+#[derive(Debug, Clone)]
+pub struct RequestGen {
+    state: u64,
+}
+
+impl RequestGen {
+    pub fn new(seed: u64) -> Self {
+        RequestGen {
+            state: seed.wrapping_add(0x9e3779b97f4a7c15),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Generate `count` requests of the given mix.
+    pub fn stream(&mut self, kind: StreamKind, count: usize) -> Vec<Request> {
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(match kind {
+                StreamKind::NginxFiles {
+                    files,
+                    response_size,
+                } => {
+                    let doc = self.below(files.max(1));
+                    Request::with_input(
+                        nginx::REQUEST_ENTRY,
+                        &[response_size as i64],
+                        nginx::request_bytes(doc),
+                    )
+                }
+                StreamKind::LdapMix { entries, hit_pct } => {
+                    let roll = self.below(100) as u8;
+                    let idx = self.below(entries.max(1));
+                    let key = if roll < hit_pct {
+                        ldap::present_key(idx)
+                    } else {
+                        ldap::absent_key(idx)
+                    };
+                    Request::new(ldap::REQUEST_ENTRY, &[key])
+                }
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let kind = StreamKind::LdapMix {
+            entries: 64,
+            hit_pct: 50,
+        };
+        let a = RequestGen::new(42).stream(kind, 32);
+        let b = RequestGen::new(42).stream(kind, 32);
+        assert_eq!(a, b);
+        let c = RequestGen::new(43).stream(kind, 32);
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn hit_pct_controls_the_mix() {
+        let all_hits = RequestGen::new(7).stream(
+            StreamKind::LdapMix {
+                entries: 16,
+                hit_pct: 100,
+            },
+            50,
+        );
+        assert!(
+            all_hits.iter().all(|r| (r.args[0] - 3) % 7 == 0),
+            "all keys present-shaped"
+        );
+        let no_hits = RequestGen::new(7).stream(
+            StreamKind::LdapMix {
+                entries: 16,
+                hit_pct: 0,
+            },
+            50,
+        );
+        assert!(no_hits.iter().all(|r| (r.args[0] - 5) % 7 == 0));
+    }
+
+    #[test]
+    fn nginx_stream_targets_existing_docs() {
+        let reqs = RequestGen::new(1).stream(
+            StreamKind::NginxFiles {
+                files: 4,
+                response_size: 512,
+            },
+            20,
+        );
+        for r in &reqs {
+            assert_eq!(r.entry, nginx::REQUEST_ENTRY);
+            assert_eq!(r.args, vec![512]);
+            let input = r.input.as_ref().unwrap();
+            assert!(input.starts_with(b"GET doc") && input.ends_with(b"\0"));
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! The service runtime: registry + pools + worker threads.
+//!
+//! [`Server::serve`] drives many concurrent sessions' request streams
+//! against one registered binary.  Sessions are partitioned round-robin over
+//! worker threads; each worker owns the VM instances of its sessions (VMs
+//! are plain `Send` state, nothing is shared mutably across workers), so the
+//! simulation stays deterministic per session while the host-side work is
+//! genuinely parallel.
+//!
+//! Two execution modes make the serving cost model measurable:
+//!
+//! * [`ExecMode::Cold`] — every request pays load + setup on a fresh VM
+//!   (the repeated cold compile-and-execute our earlier reproduction did).
+//! * [`ExecMode::Pooled`] — per-session warm instances are rewound to their
+//!   post-setup snapshot between requests (O(dirty pages)), the paper's
+//!   many-requests-per-load deployment.
+
+use std::sync::Arc;
+
+use confllvm_vm::{Outcome, VmOptions};
+
+use crate::metrics::{RequestMetrics, StreamMetrics};
+use crate::pool::{PoolOptions, SpawnError, VmPool};
+use crate::registry::{BinaryRegistry, ServiceBinary};
+use crate::session::SessionSpec;
+
+/// How requests are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Fresh VM + setup per request.
+    Cold,
+    /// Warm per-session instances with snapshot/reset between requests.
+    Pooled,
+}
+
+impl ExecMode {
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecMode::Cold => "cold",
+            ExecMode::Pooled => "pooled",
+        }
+    }
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Worker threads driving sessions (host-side parallelism).
+    pub workers: usize,
+    pub vm: VmOptions,
+    pub pool: PoolOptions,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            workers: 4,
+            vm: VmOptions::default(),
+            pool: PoolOptions::default(),
+        }
+    }
+}
+
+/// A serving failure.
+#[derive(Debug)]
+pub enum ServeError {
+    UnknownBinary {
+        name: String,
+    },
+    /// Two sessions share an id.  Instances are keyed by session id, so
+    /// admitting this would serve one client's requests against another
+    /// client's private state.
+    DuplicateSession {
+        id: usize,
+    },
+    Spawn(SpawnError),
+    /// A request faulted (the instrumentation stopping an attempted leak is
+    /// a fault, so a serving test failing here is meaningful).
+    Request {
+        session: usize,
+        index: usize,
+        outcome: Outcome,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownBinary { name } => write!(f, "no binary `{name}` registered"),
+            ServeError::DuplicateSession { id } => {
+                write!(f, "duplicate session id {id} in one serve call")
+            }
+            ServeError::Spawn(e) => write!(f, "instance spawn failed: {e}"),
+            ServeError::Request {
+                session,
+                index,
+                outcome,
+            } => write!(f, "session {session} request {index} failed: {outcome:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SpawnError> for ServeError {
+    fn from(e: SpawnError) -> Self {
+        ServeError::Spawn(e)
+    }
+}
+
+/// What one session produced.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    pub id: usize,
+    /// Exit code of each request's entry, in stream order.
+    pub exit_codes: Vec<i64>,
+    /// Bytes this session's requests sent on the network in clear —
+    /// attacker-observable.
+    pub sent: Vec<u8>,
+    /// Bytes this session's requests appended to the log —
+    /// attacker-observable.
+    pub log: Vec<u8>,
+    pub metrics: StreamMetrics,
+}
+
+/// The result of serving a set of streams.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    pub binary: String,
+    pub mode: ExecMode,
+    /// Per-session outcomes, sorted by session id.
+    pub sessions: Vec<SessionOutcome>,
+    /// All sessions' metrics merged.
+    pub metrics: StreamMetrics,
+    /// Warm instances spawned (pooled mode; cold mode spawns per request and
+    /// reports the request count here).
+    pub instances_spawned: u64,
+    /// Host-side wall time for the whole run, microseconds (includes the
+    /// compile-free load/setup work cold mode repeats per request).
+    pub host_micros: u128,
+}
+
+impl ServiceReport {
+    /// The attacker-observable trace of every session, concatenated in
+    /// session order — what the two-run equivalence tests compare.
+    pub fn observable(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        for s in &self.sessions {
+            v.extend_from_slice(&s.sent);
+            v.extend_from_slice(&s.log);
+        }
+        v
+    }
+}
+
+/// The service runtime.
+#[derive(Debug, Default)]
+pub struct Server {
+    pub registry: BinaryRegistry,
+    pub opts: ServerOptions,
+}
+
+impl Server {
+    pub fn new(registry: BinaryRegistry, opts: ServerOptions) -> Self {
+        Server { registry, opts }
+    }
+
+    /// Serve every session's request stream against the registered binary
+    /// `name`, spreading sessions over worker threads.
+    pub fn serve(
+        &self,
+        name: &str,
+        sessions: &[SessionSpec],
+        mode: ExecMode,
+    ) -> Result<ServiceReport, ServeError> {
+        let binary = self
+            .registry
+            .get(name)
+            .ok_or_else(|| ServeError::UnknownBinary {
+                name: name.to_string(),
+            })?;
+        let mut ids = std::collections::HashSet::new();
+        for s in sessions {
+            if !ids.insert(s.id) {
+                return Err(ServeError::DuplicateSession { id: s.id });
+            }
+        }
+        let mut vm_opts = self.opts.vm.clone();
+        vm_opts.allocator = binary.config.allocator();
+        let started = std::time::Instant::now();
+
+        let workers = self.opts.workers.max(1).min(sessions.len().max(1));
+        let mut shards: Vec<Vec<SessionSpec>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, s) in sessions.iter().enumerate() {
+            shards[i % workers].push(s.clone());
+        }
+
+        let results: Vec<Result<(Vec<SessionOutcome>, u64), ServeError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| {
+                        let binary = binary.clone();
+                        let vm_opts = vm_opts.clone();
+                        let pool_opts = self.opts.pool;
+                        scope.spawn(move || run_shard(binary, vm_opts, pool_opts, shard, mode))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
+            });
+
+        let mut outcomes = Vec::new();
+        let mut spawned = 0;
+        for r in results {
+            let (mut session_outcomes, shard_spawned) = r?;
+            outcomes.append(&mut session_outcomes);
+            spawned += shard_spawned;
+        }
+        outcomes.sort_by_key(|s| s.id);
+        let mut metrics = StreamMetrics::default();
+        for s in &outcomes {
+            metrics.merge(&s.metrics);
+        }
+        Ok(ServiceReport {
+            binary: name.to_string(),
+            mode,
+            sessions: outcomes,
+            metrics,
+            instances_spawned: spawned,
+            host_micros: started.elapsed().as_micros(),
+        })
+    }
+}
+
+/// Run one worker's share of the sessions.  Returns the outcomes plus the
+/// number of VMs spawned.
+fn run_shard(
+    binary: Arc<ServiceBinary>,
+    vm_opts: VmOptions,
+    pool_opts: PoolOptions,
+    shard: Vec<SessionSpec>,
+    mode: ExecMode,
+) -> Result<(Vec<SessionOutcome>, u64), ServeError> {
+    let mut pool = VmPool::new(binary, vm_opts, pool_opts);
+    let mut outcomes = Vec::with_capacity(shard.len());
+    let mut spawned = 0u64;
+    for session in &shard {
+        let outcome = match mode {
+            ExecMode::Pooled => run_session_pooled(&mut pool, session)?,
+            ExecMode::Cold => {
+                spawned += session.requests.len() as u64;
+                run_session_cold(&pool, session)?
+            }
+        };
+        outcomes.push(outcome);
+    }
+    if mode == ExecMode::Pooled {
+        spawned = pool.spawned;
+    }
+    Ok((outcomes, spawned))
+}
+
+fn run_session_pooled(
+    pool: &mut VmPool,
+    session: &SessionSpec,
+) -> Result<SessionOutcome, ServeError> {
+    let pool_opts = pool.opts;
+    let inst = pool.instance(session.id, &session.world)?;
+    let mut out = SessionOutcome {
+        id: session.id,
+        exit_codes: Vec::with_capacity(session.requests.len()),
+        sent: Vec::new(),
+        log: Vec::new(),
+        metrics: StreamMetrics::default(),
+    };
+    for (index, req) in session.requests.iter().enumerate() {
+        let (dirty, restore_cycles) = inst.reset(&pool_opts);
+        if let Some(input) = &req.input {
+            inst.vm.world.push_request(input);
+        }
+        let before = inst.vm.stats.clone();
+        let result = inst.vm.run_function(&req.entry, &req.args);
+        match result.outcome {
+            Outcome::Exit(code) => out.exit_codes.push(code),
+            outcome => {
+                return Err(ServeError::Request {
+                    session: session.id,
+                    index,
+                    outcome,
+                })
+            }
+        }
+        let mut m = RequestMetrics::from_stats_delta(&before, &inst.vm.stats);
+        m.restore_cycles = restore_cycles;
+        m.dirty_pages = dirty;
+        m.cycles += restore_cycles;
+        out.metrics.add(&m);
+        out.sent
+            .extend_from_slice(&inst.vm.world.sent[inst.sent_baseline..]);
+        out.log
+            .extend_from_slice(&inst.vm.world.log[inst.log_baseline..]);
+    }
+    Ok(out)
+}
+
+fn run_session_cold(pool: &VmPool, session: &SessionSpec) -> Result<SessionOutcome, ServeError> {
+    let mut out = SessionOutcome {
+        id: session.id,
+        exit_codes: Vec::with_capacity(session.requests.len()),
+        sent: Vec::new(),
+        log: Vec::new(),
+        metrics: StreamMetrics::default(),
+    };
+    for (index, req) in session.requests.iter().enumerate() {
+        let (mut vm, setup_cycles) = pool.spawn_cold(&session.world)?;
+        let sent_baseline = vm.world.sent.len();
+        let log_baseline = vm.world.log.len();
+        if let Some(input) = &req.input {
+            vm.world.push_request(input);
+        }
+        let before = vm.stats.clone();
+        let result = vm.run_function(&req.entry, &req.args);
+        match result.outcome {
+            Outcome::Exit(code) => out.exit_codes.push(code),
+            outcome => {
+                return Err(ServeError::Request {
+                    session: session.id,
+                    index,
+                    outcome,
+                })
+            }
+        }
+        let mut m = RequestMetrics::from_stats_delta(&before, &vm.stats);
+        m.setup_cycles = setup_cycles;
+        m.cycles += setup_cycles;
+        out.metrics.add(&m);
+        out.sent.extend_from_slice(&vm.world.sent[sent_baseline..]);
+        out.log.extend_from_slice(&vm.world.log[log_baseline..]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{SetupSpec, VerifyPolicy};
+    use crate::reqgen::{RequestGen, StreamKind};
+    use confllvm_core::{CompileOptions, Config};
+    use confllvm_workloads::{ldap, nginx};
+
+    fn ldap_server(config: Config, entries: i64) -> Server {
+        let policy = if config.is_instrumented() {
+            VerifyPolicy::RequireVerified
+        } else {
+            VerifyPolicy::AllowUnverifiable
+        };
+        let mut registry = crate::registry::BinaryRegistry::new(policy);
+        let opts = CompileOptions {
+            config,
+            entry: ldap::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        registry
+            .register_source(
+                "ldap",
+                &ldap::annotated_source(),
+                &opts,
+                Some(SetupSpec::new(ldap::SETUP_ENTRY, &[entries])),
+            )
+            .expect("registers");
+        Server::new(registry, ServerOptions::default())
+    }
+
+    fn ldap_sessions(n: usize, requests: usize, entries: usize) -> Vec<SessionSpec> {
+        (0..n)
+            .map(|id| {
+                let mut w = confllvm_vm::World::new();
+                w.set_password("user", format!("secret-of-{id}").as_bytes());
+                let reqs = RequestGen::new(1000 + id as u64).stream(
+                    StreamKind::LdapMix {
+                        entries,
+                        hit_pct: 50,
+                    },
+                    requests,
+                );
+                SessionSpec::new(id, w, reqs)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pooled_and_cold_agree_on_results_and_observables() {
+        let server = ldap_server(Config::OurMpx, 32);
+        let sessions = ldap_sessions(3, 6, 32);
+        let cold = server.serve("ldap", &sessions, ExecMode::Cold).unwrap();
+        let pooled = server.serve("ldap", &sessions, ExecMode::Pooled).unwrap();
+        assert_eq!(cold.sessions.len(), 3);
+        for (c, p) in cold.sessions.iter().zip(&pooled.sessions) {
+            assert_eq!(c.id, p.id);
+            assert_eq!(c.exit_codes, p.exit_codes, "mode must not change results");
+            assert_eq!(c.sent, p.sent, "mode must not change the observable trace");
+            assert_eq!(c.log, p.log);
+        }
+        // Pooled skips setup per request, so per-request cycles are strictly
+        // lower; cold spawned one VM per request, pooled one per session.
+        assert!(pooled.metrics.mean_cycles() < cold.metrics.mean_cycles());
+        assert_eq!(cold.instances_spawned, 18);
+        assert_eq!(pooled.instances_spawned, 3);
+        assert_eq!(pooled.metrics.requests, 18);
+        assert!(pooled.metrics.restore_cycles > 0);
+        assert_eq!(cold.metrics.restore_cycles, 0);
+        assert!(cold.metrics.setup_cycles > 0);
+    }
+
+    #[test]
+    fn nginx_streams_serve_under_all_modes() {
+        let mut registry = crate::registry::BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions {
+            config: Config::OurSeg,
+            entry: nginx::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        registry
+            .register_source(
+                "nginx",
+                nginx::SOURCE,
+                &opts,
+                Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
+            )
+            .unwrap();
+        let server = Server::new(registry, ServerOptions::default());
+        let sessions: Vec<SessionSpec> = (0..2)
+            .map(|id| {
+                let world = nginx::file_world(3, 512, id as u8);
+                let reqs = RequestGen::new(id as u64).stream(
+                    StreamKind::NginxFiles {
+                        files: 3,
+                        response_size: 512,
+                    },
+                    4,
+                );
+                SessionSpec::new(id, world, reqs)
+            })
+            .collect();
+        for mode in [ExecMode::Cold, ExecMode::Pooled] {
+            let report = server.serve("nginx", &sessions, mode).unwrap();
+            assert_eq!(report.metrics.requests, 8);
+            for s in &report.sessions {
+                assert!(s.exit_codes.iter().all(|c| *c == 1), "{:?}", s.exit_codes);
+                assert_eq!(s.sent.len(), 4 * 512, "each request sends one response");
+                assert!(!s.log.is_empty());
+            }
+            assert!(report.metrics.extern_calls > 0);
+            assert!(
+                report.metrics.stack_switches > 0,
+                "OurSeg separates U/T memory, so every trusted call switches stacks"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_binary_is_an_error() {
+        let server = Server::default();
+        let err = server.serve("nope", &[], ExecMode::Pooled).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownBinary { .. }));
+    }
+
+    #[test]
+    fn duplicate_session_ids_are_refused() {
+        // Instances are keyed by session id; two sessions sharing an id
+        // would serve one client against the other's private state.
+        let server = ldap_server(Config::OurMpx, 32);
+        let mut sessions = ldap_sessions(2, 2, 32);
+        sessions[1].id = sessions[0].id;
+        let err = server
+            .serve("ldap", &sessions, ExecMode::Pooled)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::DuplicateSession { .. }), "{err}");
+    }
+
+    #[test]
+    fn worker_count_does_not_change_outcomes() {
+        let sessions = ldap_sessions(5, 4, 32);
+        let mut single = ldap_server(Config::OurMpx, 32);
+        single.opts.workers = 1;
+        let mut many = ldap_server(Config::OurMpx, 32);
+        many.opts.workers = 8;
+        let a = single.serve("ldap", &sessions, ExecMode::Pooled).unwrap();
+        let b = many.serve("ldap", &sessions, ExecMode::Pooled).unwrap();
+        for (x, y) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.exit_codes, y.exit_codes);
+            assert_eq!(x.sent, y.sent);
+            assert_eq!(x.log, y.log);
+        }
+        assert_eq!(a.metrics.total_cycles, b.metrics.total_cycles);
+    }
+}

@@ -12,7 +12,7 @@ use crate::alloc::{AllocatorKind, Heap};
 use crate::cache::DataCache;
 use crate::cost::CostModel;
 use crate::loader::{load, Image, LoadError};
-use crate::memory::{MemFault, Memory};
+use crate::memory::{MemFault, MemSnapshot, Memory};
 use crate::trusted::{self, TrustedCtx, TrustedError};
 use crate::world::World;
 
@@ -135,8 +135,18 @@ pub struct ExecStats {
     /// the simulated cost that check elimination removes.
     pub check_cycles: u64,
     pub cfi_checks: u64,
+    /// Calls from U into a trusted wrapper (every `CallExternal` that T
+    /// accepted) — one U→T→U round trip each.
     pub extern_calls: u64,
     pub extern_bytes: u64,
+    /// Stack/segment switches performed on trusted calls.  Only configurations
+    /// that separate U and T memories (OurBare and up) switch; `Base` and
+    /// `Our1Mem` keep this at zero.
+    pub stack_switches: u64,
+    /// Cycles spent crossing the U/T boundary (wrapper base cost, argument
+    /// copies and stack switches) — the "T-crossing" share of a request, as
+    /// opposed to cycles spent in application code.
+    pub extern_cycles: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Cycles per thread (for the multi-threaded experiments).
@@ -182,6 +192,37 @@ impl RunResult {
     }
 }
 
+/// A point-in-time capture of the mutable machine state — memory contents,
+/// both heaps, the external world and the data cache — taken after a VM has
+/// been initialised (e.g. after running a workload's setup entry point).
+///
+/// [`Vm::restore`] rewinds the VM to this state in O(dirty pages), which is
+/// what lets a service runtime reuse one loaded instance across many requests
+/// instead of paying compile + load + setup per request.
+#[derive(Debug, Clone)]
+pub struct VmSnapshot {
+    mem: MemSnapshot,
+    world: World,
+    pub_heap: Heap,
+    priv_heap: Heap,
+    cache: DataCache,
+}
+
+impl VmSnapshot {
+    /// Number of memory pages captured (the O(total) cost paid once at
+    /// snapshot time; restores pay only for pages dirtied since).
+    pub fn captured_pages(&self) -> usize {
+        self.mem.pages()
+    }
+}
+
+/// What one [`Vm::restore`] did, for the pool's cost accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RestoreStats {
+    /// Pages rewound (the restore's O(dirty pages) work).
+    pub dirty_pages: usize,
+}
+
 struct ThreadState {
     regs: [u64; Reg::COUNT],
     last_cmp: (i64, i64),
@@ -190,6 +231,7 @@ struct ThreadState {
 }
 
 /// The virtual machine.
+#[derive(Debug)]
 pub struct Vm {
     pub image: Image,
     pub memory: Memory,
@@ -215,6 +257,32 @@ impl Vm {
             priv_heap: loaded.priv_heap,
             stats: ExecStats::default(),
         })
+    }
+
+    /// Capture the current machine state (memory, heaps, world, cache) so
+    /// [`Vm::restore`] can rewind to it between requests.  Registers and the
+    /// program counter need no capture: every `run_function` starts a fresh
+    /// thread context.  Execution statistics keep accumulating across
+    /// restores; callers interested in per-request numbers diff [`Vm::stats`].
+    pub fn snapshot(&mut self) -> VmSnapshot {
+        VmSnapshot {
+            mem: self.memory.snapshot(),
+            world: self.world.clone(),
+            pub_heap: self.pub_heap.clone(),
+            priv_heap: self.priv_heap.clone(),
+            cache: self.cache.clone(),
+        }
+    }
+
+    /// Rewind memory (O(pages dirtied since the snapshot)), heaps, world and
+    /// cache to `snap`.  The snapshot must have been taken from this VM.
+    pub fn restore(&mut self, snap: &VmSnapshot) -> RestoreStats {
+        let dirty_pages = self.memory.restore(&snap.mem);
+        self.world = snap.world.clone();
+        self.pub_heap = snap.pub_heap.clone();
+        self.priv_heap = snap.priv_heap.clone();
+        self.cache = snap.cache.clone();
+        RestoreStats { dirty_pages }
     }
 
     /// Run the program's entry function with no arguments.
@@ -611,7 +679,9 @@ impl Vm {
                     + res.bytes_copied / 4 * self.opts.cost.extern_per_4_bytes;
                 if self.image.separate_trusted_memory {
                     cycles += self.opts.cost.trusted_switch;
+                    self.stats.stack_switches += 1;
                 }
+                self.stats.extern_cycles += cycles;
                 self.charge(cycles);
                 // All caller-saved registers are clobbered by the call (the
                 // wrapper clears them so no private value survives in a dead
@@ -740,6 +810,58 @@ mod tests {
         assert_eq!(stats.wall_cycles(4), 200);
         assert_eq!(stats.wall_cycles(8), 100);
         assert_eq!(stats.wall_cycles(1), 500);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_globals_heaps_and_world() {
+        // main() { return ++counter; } against a global counter: without a
+        // restore the second run sees the first run's store; with one it
+        // re-executes from identical state.
+        let mut p = tiny_program(Scheme::None);
+        p.insts = vec![
+            MInst::MovGlobal {
+                dst: Reg::Rcx,
+                index: 0,
+            },
+            MInst::Load {
+                dst: Reg::Rax,
+                mem: MemOperand::base(Reg::Rcx),
+                size: 8,
+            },
+            MInst::Alu {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: RegImm::Imm(1),
+            },
+            MInst::Store {
+                mem: MemOperand::base(Reg::Rcx),
+                src: Reg::Rax,
+                size: 8,
+            },
+            MInst::Ret,
+        ];
+        p.globals = vec![confllvm_machine::program::GlobalSpec {
+            name: "counter".into(),
+            size: 8,
+            taint: Taint::Public,
+            init: vec![0; 8],
+        }];
+        let mut vm = Vm::new(&p, VmOptions::default(), World::new()).unwrap();
+        vm.world.log.extend_from_slice(b"boot");
+        let snap = vm.snapshot();
+        assert!(snap.captured_pages() > 0);
+        assert_eq!(vm.run().exit_code(), Some(1));
+        vm.world.log.extend_from_slice(b"req");
+        assert_eq!(
+            vm.run().exit_code(),
+            Some(2),
+            "state persists without restore"
+        );
+        let r = vm.restore(&snap);
+        assert!(r.dirty_pages > 0, "the counter page (and stack) were dirty");
+        // World fields rewound to their snapshot state.
+        assert_eq!(vm.world.log, b"boot".to_vec());
+        assert_eq!(vm.run().exit_code(), Some(1), "restore rewound the global");
     }
 
     #[test]

@@ -31,8 +31,10 @@ pub mod world;
 pub use alloc::{AllocatorKind, Heap};
 pub use cache::DataCache;
 pub use cost::CostModel;
-pub use cpu::{run_program, ExecStats, Fault, Outcome, RunResult, Vm, VmOptions};
+pub use cpu::{
+    run_program, ExecStats, Fault, Outcome, RestoreStats, RunResult, Vm, VmOptions, VmSnapshot,
+};
 pub use loader::{load, Image, LoadError, Loaded};
-pub use memory::{MemFault, Memory};
+pub use memory::{MemFault, MemSnapshot, Memory};
 pub use trusted::{TrustedCtx, TrustedError, TRUSTED_FUNCTIONS};
 pub use world::World;

@@ -5,7 +5,7 @@
 //! the regions (Figure 3a) — faults on access, exactly like the unmapped
 //! guard pages of the paper.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Page size used by the sparse backing store (simulation detail, not
 /// architectural).
@@ -31,12 +31,34 @@ impl std::fmt::Display for MemFault {
     }
 }
 
+/// A point-in-time copy of memory contents taken by [`Memory::snapshot`].
+///
+/// Restoring is O(pages written since the snapshot), not O(total pages):
+/// after a snapshot the memory tracks which pages are dirtied and
+/// [`Memory::restore`] rewinds only those.
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl MemSnapshot {
+    /// Number of pages captured.
+    pub fn pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
 /// Sparse memory.
 #[derive(Debug, Default)]
 pub struct Memory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
     /// Mapped (accessible) address ranges, non-overlapping.
     mapped: Vec<(u64, u64)>,
+    /// Pages written since the last snapshot/restore (empty when no snapshot
+    /// has been taken; tracking costs one hash insert per written page).
+    dirty: HashSet<u64>,
+    /// Whether dirty tracking is armed (set by the first `snapshot`).
+    tracking: bool,
 }
 
 impl Memory {
@@ -56,9 +78,50 @@ impl Memory {
     }
 
     fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        if self.tracking {
+            self.dirty.insert(page);
+        }
         self.pages
             .entry(page)
             .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Capture the current contents and arm dirty-page tracking, so a later
+    /// [`Memory::restore`] can rewind in O(pages written in between).
+    pub fn snapshot(&mut self) -> MemSnapshot {
+        self.tracking = true;
+        self.dirty.clear();
+        MemSnapshot {
+            pages: self.pages.clone(),
+        }
+    }
+
+    /// Rewind every page written since the last [`Memory::snapshot`] /
+    /// [`Memory::restore`] to its state in `snap`.  Returns the number of
+    /// dirty pages that were restored.
+    ///
+    /// Only pages recorded as dirty are touched, so restoring between
+    /// requests of a warm VM costs O(working set of one request).  The
+    /// snapshot must come from this memory (restoring a foreign snapshot
+    /// would miss pages dirtied before it was taken).
+    pub fn restore(&mut self, snap: &MemSnapshot) -> usize {
+        let dirty = std::mem::take(&mut self.dirty);
+        for page in &dirty {
+            match snap.pages.get(page) {
+                Some(p) => {
+                    self.pages.insert(*page, p.clone());
+                }
+                None => {
+                    self.pages.remove(page);
+                }
+            }
+        }
+        dirty.len()
+    }
+
+    /// Number of pages written since the last snapshot/restore.
+    pub fn dirty_pages(&self) -> usize {
+        self.dirty.len()
     }
 
     /// Read `len` (1..=8) bytes, zero-extended into a u64.
@@ -179,6 +242,38 @@ mod tests {
         m.write_bytes(0x1200, b"hello\0world").unwrap();
         assert_eq!(m.read_cstring(0x1200, 64).unwrap(), b"hello");
         assert_eq!(m.read_bytes(0x1200, 5).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_only_dirty_pages() {
+        let mut m = Memory::new();
+        m.map_range(0, 16 * 4096);
+        m.write(0x0, 8, 1).unwrap();
+        m.write(0x2000, 8, 2).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(m.dirty_pages(), 0);
+        // Dirty two pages: one that existed in the snapshot, one fresh.
+        m.write(0x0, 8, 99).unwrap();
+        m.write(0x5000, 8, 77).unwrap();
+        assert_eq!(m.dirty_pages(), 2);
+        let restored = m.restore(&snap);
+        assert_eq!(restored, 2);
+        assert_eq!(m.read(0x0, 8).unwrap(), 1);
+        assert_eq!(m.read(0x2000, 8).unwrap(), 2);
+        assert_eq!(m.read(0x5000, 8).unwrap(), 0, "fresh page dropped");
+        // Restore re-arms tracking: a second round works identically.
+        m.write(0x0, 8, 123).unwrap();
+        assert_eq!(m.restore(&snap), 1);
+        assert_eq!(m.read(0x0, 8).unwrap(), 1);
+    }
+
+    #[test]
+    fn restore_with_no_writes_is_free() {
+        let mut m = mem();
+        m.write(0x1000, 8, 5).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(m.restore(&snap), 0);
+        assert_eq!(m.read(0x1000, 8).unwrap(), 5);
     }
 
     #[test]

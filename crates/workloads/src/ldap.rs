@@ -77,8 +77,41 @@ pub const SOURCE: &str = "
         return found;
     }
 
+    // Service entry point: answer exactly one lookup.  A hit declassifies
+    // the entry's password via T and sends it; the return value says whether
+    // the entry existed (1) or not (0).
+    int handle_query(int key) {
+        char out[16];
+        char staging[16];
+        int idx = lookup(key);
+        if (idx >= 0) {
+            staging[0] = passwords[idx];
+            encrypt(staging, out, 16);
+            send(1, out, 16);
+            return 1;
+        }
+        return 0;
+    }
+
     int main() { populate(64); return query(64, 1); }
 ";
+
+/// Entry point the service runtime runs once per instance before taking the
+/// warm-pool snapshot (and that a cold start re-runs on every request).
+pub const SETUP_ENTRY: &str = "populate";
+
+/// Entry point answering exactly one directory lookup.
+pub const REQUEST_ENTRY: &str = "handle_query";
+
+/// The key of the `i`-th entry `populate(n)` inserts (for hit streams).
+pub fn present_key(i: usize) -> i64 {
+    (i as i64) * 7 + 3
+}
+
+/// A key no `populate` call ever inserts (for miss streams).
+pub fn absent_key(i: usize) -> i64 {
+    (i as i64) * 7 + 5
+}
 
 /// The annotated source marks the password store private.
 pub const PRIVATE_STORE_ANNOTATION: &str = "private char passwords[16384];";
@@ -171,6 +204,37 @@ mod tests {
             "password prefix leaked"
         );
         assert!(!r.world.sent.is_empty());
+    }
+
+    #[test]
+    fn query_entry_answers_single_lookups() {
+        use confllvm_core::{compile, CompileOptions};
+        use confllvm_vm::{Vm, VmOptions};
+        let opts = CompileOptions {
+            config: Config::OurMpx,
+            entry: SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        let compiled = compile(&annotated_source(), &opts).expect("compiles");
+        let mut w = World::new();
+        w.set_password("user", b"ldap-secret-pw");
+        let mut vm = Vm::new(&compiled.program, VmOptions::default(), w).expect("load");
+        let pop = vm.run_function(SETUP_ENTRY, &[32]);
+        assert_eq!(pop.exit_code(), Some(32), "{:?}", pop.outcome);
+        let hit = vm.run_function(REQUEST_ENTRY, &[present_key(5)]);
+        assert_eq!(hit.exit_code(), Some(1), "{:?}", hit.outcome);
+        assert_eq!(
+            vm.world.sent.len(),
+            16,
+            "a hit sends the declassified entry"
+        );
+        let miss = vm.run_function(REQUEST_ENTRY, &[absent_key(5)]);
+        assert_eq!(miss.exit_code(), Some(0), "{:?}", miss.outcome);
+        assert_eq!(vm.world.sent.len(), 16, "a miss sends nothing");
+        assert!(
+            !vm.world.sent.windows(6).any(|s| s == b"ldap-s"),
+            "password prefix leaked in clear"
+        );
     }
 
     #[test]

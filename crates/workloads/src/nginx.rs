@@ -74,8 +74,55 @@ pub const SOURCE: &str = "
         return served;
     }
 
+    // Service entry points: `setup()` is the per-instance initialisation a
+    // cold start pays on every request (clearing the request/log staging
+    // buffers, like nginx re-reading its config); `handle_request(size)`
+    // serves exactly one queued request and returns 1 if one was served.
+    int setup() {
+        int i;
+        for (i = 0; i < 512; i = i + 1) { reqbuf[i] = 0; }
+        for (i = 0; i < 128; i = i + 1) { logbuf[i] = 0; }
+        return 1;
+    }
+
+    int handle_request(int response_size) {
+        char fname[64];
+        int n = recv(0, reqbuf, 512);
+        if (n == 0) { return 0; }
+        parse(reqbuf, fname, 64);
+        handle(fname, response_size);
+        return 1;
+    }
+
     int main() { return serve(1, 1024); }
 ";
+
+/// Entry point the service runtime runs once per instance before taking the
+/// warm-pool snapshot (and that a cold start re-runs on every request).
+pub const SETUP_ENTRY: &str = "setup";
+
+/// Entry point serving exactly one queued request.
+pub const REQUEST_ENTRY: &str = "handle_request";
+
+/// A file-serving world for the service runtime: `count` private files
+/// `doc0..doc<count-1>` of `size` bytes each, contents derived from `fill`.
+/// No requests are queued — the session driver pushes one per request (see
+/// [`request_bytes`]).
+pub fn file_world(count: usize, size: usize, fill: u8) -> World {
+    let mut w = World::new();
+    for d in 0..count {
+        let body: Vec<u8> = (0..size)
+            .map(|i| (i * 31 + d * 17 + fill as usize).wrapping_rem(251) as u8)
+            .collect();
+        w.add_secret_file(&format!("doc{d}"), &body);
+    }
+    w
+}
+
+/// The wire form of a request for file `doc<index>`.
+pub fn request_bytes(index: usize) -> Vec<u8> {
+    format!("GET doc{index}\0").into_bytes()
+}
 
 /// Build a world with `requests` queued requests for the private file.
 pub fn world(requests: usize, response_size: usize) -> World {
@@ -125,6 +172,34 @@ mod tests {
             assert!(!r.world.sent.is_empty());
             assert!(!r.world.log.is_empty());
         }
+    }
+
+    #[test]
+    fn request_entry_serves_one_queued_request() {
+        use confllvm_core::{compile, CompileOptions};
+        use confllvm_vm::{Vm, VmOptions};
+        let opts = CompileOptions {
+            config: Config::OurMpx,
+            entry: SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        let compiled = compile(SOURCE, &opts).expect("compiles");
+        let mut vm = Vm::new(
+            &compiled.program,
+            VmOptions::default(),
+            file_world(2, 256, 7),
+        )
+        .expect("load");
+        let setup = vm.run_function(SETUP_ENTRY, &[]);
+        assert_eq!(setup.exit_code(), Some(1), "{:?}", setup.outcome);
+        // No request queued yet: handle_request reports nothing served.
+        let idle = vm.run_function(REQUEST_ENTRY, &[256]);
+        assert_eq!(idle.exit_code(), Some(0), "{:?}", idle.outcome);
+        vm.world.push_request(&request_bytes(1));
+        let served = vm.run_function(REQUEST_ENTRY, &[256]);
+        assert_eq!(served.exit_code(), Some(1), "{:?}", served.outcome);
+        assert_eq!(vm.world.sent.len(), 256);
+        assert!(!vm.world.log.is_empty(), "each request logs an entry");
     }
 
     #[test]

@@ -1,0 +1,237 @@
+//! End-to-end tests of the serving layer (the paper's deployment model):
+//! verify-then-load registration, multi-session request streams over pooled
+//! VM instances, and the two-run observational-equivalence property — an
+//! identical request stream served against different private state must be
+//! indistinguishable on the attacker-observable channels.
+
+use confllvm_repro::core::{compile_for, CompileOptions, Config};
+use confllvm_repro::machine::{BndReg, MInst};
+use confllvm_repro::server::{
+    BinaryRegistry, ExecMode, RegisterError, Request, RequestGen, Server, ServerOptions,
+    SessionSpec, SetupSpec, StreamKind, VerifyPolicy,
+};
+use confllvm_repro::vm::World;
+use confllvm_repro::workloads::nginx;
+
+/// An authentication service whose *public* behaviour is fully determined by
+/// public inputs: the session's password is read and digested privately, and
+/// only a constant banner plus a public per-request log line leave U.
+const AUTH_SERVICE: &str = "
+    extern void read_passwd(char *u, private char *p, int n);
+    extern int send(int fd, char *buf, int n);
+    extern int log_write(char *buf, int n);
+
+    char banner[8];
+    char table[512];
+
+    int setup() {
+        int i;
+        banner[0] = 79; banner[1] = 75; banner[2] = 10;
+        // Session key-schedule stand-in: the startup work a cold request
+        // re-pays and a pooled instance snapshots away.
+        for (i = 0; i < 512; i = i + 1) { table[i] = (i * 7) % 251; }
+        return 1;
+    }
+
+    private int digest(private char *pw, int n) {
+        int i;
+        int acc = 0;
+        for (i = 0; i < n; i = i + 1) { acc = acc + pw[i] * 31; }
+        return acc;
+    }
+
+    int handle_login(int attempt) {
+        char user[8];
+        user[0] = 117; user[1] = 0;
+        char pw[32];
+        read_passwd(user, pw, 32);
+        private int d = digest(pw, 32);
+        send(1, banner, 3);
+        char line[4];
+        int digit = attempt % 10;
+        line[0] = 76;
+        line[1] = 48 + digit;
+        line[2] = 10;
+        log_write(line, 3);
+        return attempt;
+    }
+
+    int main() { return handle_login(0); }
+";
+
+fn auth_server(config: Config) -> Server {
+    let mut registry = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+    let opts = CompileOptions {
+        config,
+        entry: "setup".to_string(),
+        ..Default::default()
+    };
+    registry
+        .register_source(
+            "auth",
+            AUTH_SERVICE,
+            &opts,
+            Some(SetupSpec::new("setup", &[])),
+        )
+        .expect("the auth service must be verifier-accepted");
+    Server::new(registry, ServerOptions::default())
+}
+
+/// The identical request stream every session serves.
+fn auth_stream() -> Vec<Request> {
+    (0..8).map(|i| Request::new("handle_login", &[i])).collect()
+}
+
+/// Sessions with per-session private passwords drawn from `secret_tag`.
+fn auth_sessions(n: usize, secret_tag: &str) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|id| {
+            let mut w = World::new();
+            w.set_password("u", format!("{secret_tag}-password-{id}!").as_bytes());
+            SessionSpec::new(id, w, auth_stream())
+        })
+        .collect()
+}
+
+#[test]
+fn identical_streams_with_different_secrets_are_observably_identical() {
+    for config in [Config::OurMpx, Config::OurSeg] {
+        let server = auth_server(config);
+        // Two full multi-session runs over the *same* request stream with
+        // *different* private state in every session.
+        let run_a = server
+            .serve("auth", &auth_sessions(4, "alpha"), ExecMode::Pooled)
+            .unwrap();
+        let run_b = server
+            .serve("auth", &auth_sessions(4, "omega"), ExecMode::Pooled)
+            .unwrap();
+        assert_eq!(run_a.sessions.len(), 4);
+        for (a, b) in run_a.sessions.iter().zip(&run_b.sessions) {
+            assert_eq!(a.id, b.id);
+            assert!(!a.sent.is_empty() && !a.log.is_empty());
+            assert_eq!(
+                a.sent, b.sent,
+                "sent bytes diverged with the private state under {config}"
+            );
+            assert_eq!(
+                a.log, b.log,
+                "log bytes diverged with the private state under {config}"
+            );
+        }
+        // The stream is identical across sessions too, so every session's
+        // observable trace must be byte-identical to every other's.
+        let first = &run_a.sessions[0];
+        for s in &run_a.sessions[1..] {
+            assert_eq!(s.sent, first.sent, "sessions diverged under {config}");
+            assert_eq!(s.log, first.log);
+        }
+        // And the whole-run observable trace matches byte for byte.
+        assert_eq!(run_a.observable(), run_b.observable());
+    }
+}
+
+#[test]
+fn cold_and_pooled_modes_are_observably_identical() {
+    let server = auth_server(Config::OurMpx);
+    let sessions = auth_sessions(3, "mode");
+    let cold = server.serve("auth", &sessions, ExecMode::Cold).unwrap();
+    let pooled = server.serve("auth", &sessions, ExecMode::Pooled).unwrap();
+    assert_eq!(cold.observable(), pooled.observable());
+    for (c, p) in cold.sessions.iter().zip(&pooled.sessions) {
+        assert_eq!(c.exit_codes, p.exit_codes);
+    }
+    assert!(
+        pooled.metrics.mean_cycles() < cold.metrics.mean_cycles(),
+        "pooled {} !< cold {}",
+        pooled.metrics.mean_cycles(),
+        cold.metrics.mean_cycles()
+    );
+}
+
+#[test]
+fn nginx_streams_never_leak_raw_file_bytes_and_lengths_match() {
+    // The file-serving stream declassifies through T's crypto, so the exact
+    // bytes differ with the served (private) content — but the *length* and
+    // structure of the observable trace must not, and the raw secret bytes
+    // must never appear.
+    let make_server = || {
+        let mut registry = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions {
+            config: Config::OurMpx,
+            entry: nginx::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        registry
+            .register_source(
+                "nginx",
+                nginx::SOURCE,
+                &opts,
+                Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
+            )
+            .unwrap();
+        Server::new(registry, ServerOptions::default())
+    };
+    let sessions_with = |fill: u8| -> Vec<SessionSpec> {
+        (0..3)
+            .map(|id| {
+                let mut w = World::new();
+                w.add_secret_file("doc0", &[fill; 1024]);
+                w.add_secret_file("doc1", &[fill ^ 0x5f; 1024]);
+                let reqs = RequestGen::new(7 + id as u64).stream(
+                    StreamKind::NginxFiles {
+                        files: 2,
+                        response_size: 1024,
+                    },
+                    5,
+                );
+                SessionSpec::new(id, w, reqs)
+            })
+            .collect()
+    };
+    let server = make_server();
+    let run_a = server
+        .serve("nginx", &sessions_with(0x11), ExecMode::Pooled)
+        .unwrap();
+    let run_b = server
+        .serve("nginx", &sessions_with(0x77), ExecMode::Pooled)
+        .unwrap();
+    for (a, b) in run_a.sessions.iter().zip(&run_b.sessions) {
+        assert_eq!(a.sent.len(), b.sent.len(), "response sizes leaked secrets");
+        assert_eq!(a.log.len(), b.log.len());
+        assert!(!a.sent.windows(32).any(|w| w == [0x11u8; 32]));
+        assert!(!b.sent.windows(32).any(|w| w == [0x77u8; 32]));
+    }
+}
+
+#[test]
+fn broken_binary_is_rejected_at_load_time_and_never_serves() {
+    // A vuln variant: strip the private-region MPX checks from the compiled
+    // auth service, then try to register it.  The verify-then-load gate must
+    // reject it with ConfVerify errors, and serving must fail because
+    // nothing got registered.
+    let compiled = compile_for(AUTH_SERVICE, Config::OurMpx).unwrap();
+    let mut program = compiled.program.clone();
+    let mut dropped = 0;
+    for inst in &mut program.insts {
+        if matches!(
+            inst,
+            MInst::BndCheck {
+                bnd: BndReg::Bnd1,
+                ..
+            }
+        ) {
+            *inst = MInst::Nop;
+            dropped += 1;
+        }
+    }
+    assert!(dropped > 0);
+    let mut registry = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+    match registry.register_program("auth", program, Config::OurMpx, None) {
+        Err(RegisterError::Verify { errors, .. }) => assert!(!errors.is_empty()),
+        other => panic!("expected load-time rejection, got {other:?}"),
+    }
+    let server = Server::new(registry, ServerOptions::default());
+    assert!(server
+        .serve("auth", &auth_sessions(1, "x"), ExecMode::Pooled)
+        .is_err());
+}
