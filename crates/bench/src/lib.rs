@@ -14,10 +14,17 @@ use confllvm_core::codegen::{PIPELINE_MPX_FULL, PIPELINE_MPX_PR1};
 use confllvm_core::vm::World;
 use confllvm_core::{CompileOptions, Config};
 use confllvm_server::{
-    BinaryRegistry, ExecMode, RequestGen, Server, ServerOptions, SessionSpec, SetupSpec,
+    BinaryId, ExecMode, Registry, RequestGen, Server, ServerConfig, SessionSpec, SetupSpec,
     StreamKind, VerifyPolicy,
 };
 use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
+
+pub mod verify_scale;
+
+pub use verify_scale::{
+    diff_bench_json, render_verify_scale, verify_scale_json, verify_scale_report,
+    write_verify_scale_json, VerifyScaleReport,
+};
 
 /// One row of a figure: a labelled series of (configuration, value) pairs.
 #[derive(Debug, Clone)]
@@ -342,11 +349,11 @@ pub fn server_configs(quick: bool) -> &'static [Config] {
 }
 
 /// Build a serving runtime for one workload under one configuration; the
-/// registry verifies every verifiable binary at registration (the
+/// registry verifies every verifiable binary at submission (the
 /// verify-then-load gate), and admits only the uninstrumented baselines
-/// unverified.
-pub fn server_for(workload: &str, config: Config, load: &ServerLoad) -> Server {
-    let mut registry = BinaryRegistry::new(VerifyPolicy::AllowUnverifiable);
+/// unverified.  Returns the runtime and the deployed binary's handle.
+pub fn server_for(workload: &str, config: Config, load: &ServerLoad) -> (Server, BinaryId) {
+    let registry = std::sync::Arc::new(Registry::new(VerifyPolicy::AllowUnverifiable));
     match workload {
         "nginx" => {
             let opts = CompileOptions {
@@ -355,7 +362,7 @@ pub fn server_for(workload: &str, config: Config, load: &ServerLoad) -> Server {
                 ..Default::default()
             };
             registry
-                .register_source(
+                .deploy_source(
                     "nginx",
                     nginx::SOURCE,
                     &opts,
@@ -370,7 +377,7 @@ pub fn server_for(workload: &str, config: Config, load: &ServerLoad) -> Server {
                 ..Default::default()
             };
             registry
-                .register_source(
+                .deploy_source(
                     "ldap",
                     &ldap::annotated_source(),
                     &opts,
@@ -380,7 +387,10 @@ pub fn server_for(workload: &str, config: Config, load: &ServerLoad) -> Server {
         }
         other => panic!("unknown serving workload `{other}`"),
     }
-    Server::new(registry, ServerOptions::default())
+    let binary = registry
+        .binary_id(workload)
+        .expect("just-deployed workload has a handle");
+    (Server::new(registry, ServerConfig::default()), binary)
 }
 
 /// The request streams for one workload: `sessions` clients, each with its
@@ -459,18 +469,21 @@ pub fn server_throughput_rows(quick: bool) -> Vec<ServerThroughputRow> {
     let mut rows = Vec::new();
     for workload in ["nginx", "ldap"] {
         for &config in server_configs(quick) {
-            let server = server_for(workload, config, &load);
+            let (server, binary) = server_for(workload, config, &load);
             let verified = server
                 .registry
-                .get(workload)
-                .map(|b| b.verified())
+                .checkout_active(binary)
+                .map(|(version, service)| {
+                    server.registry.release(version);
+                    service.verified()
+                })
                 .unwrap_or(false);
             let sessions = server_sessions(workload, &load);
             let cold = server
-                .serve(workload, &sessions, ExecMode::Cold)
+                .serve(binary, &sessions, ExecMode::Cold)
                 .unwrap_or_else(|e| panic!("{workload}/{config} cold: {e}"));
             let pooled = server
-                .serve(workload, &sessions, ExecMode::Pooled)
+                .serve(binary, &sessions, ExecMode::Pooled)
                 .unwrap_or_else(|e| panic!("{workload}/{config} pooled: {e}"));
             // Same streams, same binary: the serving mode must not change
             // application results or the observable trace.

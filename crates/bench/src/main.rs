@@ -15,7 +15,7 @@ use confllvm_bench::*;
 
 /// Every evaluation section: canonical name, legacy flag alias, workload
 /// aliases accepted by `--section`, and a description.
-const SECTIONS: [(&str, &str, &[&str], &str); 9] = [
+const SECTIONS: [(&str, &str, &[&str], &str); 10] = [
     (
         "fig5",
         "--fig5",
@@ -65,12 +65,19 @@ const SECTIONS: [(&str, &str, &[&str], &str); 9] = [
         &["server"],
         "serving layer: verify-then-load, VM pooling, cold vs pooled request streams",
     ),
+    (
+        "verify_scale",
+        "--verify-scale",
+        &["verify"],
+        "fleet-scale ConfVerify: parallel vs serial, content-hash cache, blue/green hot-swap (emits BENCH_verify_scale.json)",
+    ),
 ];
 
 fn usage() -> String {
     let mut out = String::new();
     out.push_str("usage: repro [--section <name>[,<name>...]]... [--quick] [--usage]\n");
-    out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes] [--server-throughput]\n\n");
+    out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes] [--server-throughput] [--verify-scale]\n");
+    out.push_str("       repro --diff-bench <actual.json> <golden.json>\n\n");
     out.push_str("sections:\n");
     for (name, _, aliases, desc) in SECTIONS {
         let label = if aliases.is_empty() {
@@ -92,33 +99,77 @@ fn valid_section_names() -> String {
 }
 
 /// Resolve one `--section` operand (a comma-separated list of names or
-/// aliases) to canonical section names, or the first unknown name.  An
-/// operand naming no section at all (empty or only commas) is an error —
-/// silently selecting nothing would fall back to running everything.
-fn resolve_sections(list: &str) -> Result<Vec<&'static str>, String> {
-    let mut out = Vec::new();
+/// aliases) into `selected`, pushing every unknown name onto `unknown`
+/// instead of bailing at the first — the caller reports them all together
+/// before anything runs.  An operand naming no section at all (empty or
+/// only commas) is also an error — silently selecting nothing would fall
+/// back to running everything.
+fn resolve_sections(list: &str, selected: &mut Vec<&'static str>, unknown: &mut Vec<String>) {
+    let mut any = false;
     for part in list.split(',') {
         let part = part.trim();
         if part.is_empty() {
             continue;
         }
+        any = true;
         match SECTIONS
             .iter()
             .find(|(name, _, aliases, _)| *name == part || aliases.contains(&part))
         {
-            Some((name, _, _, _)) => out.push(*name),
-            None => return Err(part.to_string()),
+            Some((name, _, _, _)) => selected.push(name),
+            None => unknown.push(part.to_string()),
         }
     }
-    if out.is_empty() {
-        return Err(list.to_string());
+    if !any {
+        unknown.push(list.to_string());
     }
-    Ok(out)
+}
+
+/// CI mode: diff a freshly emitted benchmark JSON against the checked-in
+/// golden copy.  Deterministic keys must match exactly; host-timing keys
+/// only need to be positive.  Exit 0 on pass, 1 on mismatch, 2 on I/O or
+/// parse trouble.
+fn diff_bench(actual_path: &str, golden_path: &str) -> ! {
+    let read = |p: &str| match std::fs::read_to_string(p) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{p}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    let actual = read(actual_path);
+    let golden = read(golden_path);
+    match diff_bench_json(&actual, &golden) {
+        Ok(errors) if errors.is_empty() => {
+            println!("bench diff OK: `{actual_path}` matches `{golden_path}` within tolerance");
+            std::process::exit(0);
+        }
+        Ok(errors) => {
+            eprintln!("bench diff FAILED ({} mismatches):", errors.len());
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--diff-bench") {
+        let (Some(actual), Some(golden)) = (args.get(1), args.get(2)) else {
+            eprintln!("error: --diff-bench needs <actual.json> <golden.json>");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        };
+        diff_bench(actual, golden);
+    }
     let mut selected: Vec<&'static str> = Vec::new();
+    let mut unknown: Vec<String> = Vec::new();
     let mut quick = false;
     let mut i = 0;
     while i < args.len() {
@@ -136,15 +187,7 @@ fn main() {
                     eprint!("{}", usage());
                     std::process::exit(2);
                 };
-                match resolve_sections(list) {
-                    Ok(mut names) => selected.append(&mut names),
-                    Err(unknown) => {
-                        eprintln!("error: unknown section `{unknown}`");
-                        eprintln!("valid sections: {}", valid_section_names());
-                        eprint!("{}", usage());
-                        std::process::exit(2);
-                    }
-                }
+                resolve_sections(list, &mut selected, &mut unknown);
             }
             flag => match SECTIONS.iter().find(|(_, f, _, _)| *f == flag) {
                 Some((n, _, _, _)) => selected.push(n),
@@ -156,6 +199,17 @@ fn main() {
             },
         }
         i += 1;
+    }
+    // Every requested name was validated above; report ALL the unknown ones
+    // together before running anything, so a long multi-section run never
+    // does hours of work and then trips over a typo in the last operand.
+    if !unknown.is_empty() {
+        for u in &unknown {
+            eprintln!("error: unknown section `{u}`");
+        }
+        eprintln!("valid sections: {}", valid_section_names());
+        eprint!("{}", usage());
+        std::process::exit(2);
     }
     let all = selected.is_empty();
     let want = |name: &str| all || selected.contains(&name);
@@ -202,5 +256,17 @@ fn main() {
     }
     if want("server_throughput") {
         println!("{}", server_throughput_table(quick));
+    }
+    if want("verify_scale") {
+        let report = verify_scale_report(quick);
+        println!("{}", render_verify_scale(&report));
+        let path = std::path::Path::new("BENCH_verify_scale.json");
+        match write_verify_scale_json(&report, path) {
+            Ok(()) => println!("   wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -1,0 +1,772 @@
+//! The `verify_scale` section: fleet-scale verification.
+//!
+//! Four measurements over one synthetic fleet of verifier-accepted service
+//! binaries:
+//!
+//! 1. **Serial vs parallel ConfVerify** — [`confllvm_verify::verify_fleet`]
+//!    over 1 worker vs a work queue.  Quoted as work/makespan of the
+//!    measured per-task times (the schedule the queue computes), in the
+//!    same spirit as the simulator quoting simulated cycles: host wall
+//!    time on a loaded single-core CI box under-reports parallelism.
+//! 2. **Content-hash cache** — the same fleet re-verified through a warm
+//!    [`confllvm_verify::VerifyCache`]: every binary is an O(1) lookup.
+//! 3. **Blue/green hot-swap under live traffic** — a service is re-submitted
+//!    and promoted while request streams are served; sessions pin their
+//!    version, the drained old version retires, a tampered re-submission is
+//!    rejected without ever serving, and the observable traces stay
+//!    byte-identical across the swap.
+//! 4. **Load-vs-serve interference** — measured host p99 request latency
+//!    while concurrent verifications hammer the same machine, vs quiet.
+//!
+//! The section also emits `BENCH_verify_scale.json` (atomic write) whose
+//! deterministic keys are diffed against a golden copy in CI; see
+//! [`diff_bench_json`] for the tolerance classes.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use confllvm_core::machine::Binary;
+use confllvm_core::{compile_for, CompileOptions, Config};
+use confllvm_server::{
+    ExecMode, Registry, Request, Server, ServerConfig, SessionSpec, SetupSpec, VerifyPolicy,
+    VersionState,
+};
+use confllvm_verify::{verify_fleet, verify_with, VerifyCache, VerifyOptions};
+use confllvm_workloads::spec;
+
+/// Worker count the parallel measurements model.
+const FLEET_THREADS: usize = 4;
+
+/// A synthetic multi-procedure service: the known-good auth skeleton (a
+/// private digest over a private password, public worker functions, an
+/// observable banner) scaled to `workers` extra procedures.  `salt` lands in
+/// private-only arithmetic, so two salts give observably identical services
+/// — which is exactly what the hot-swap equivalence check needs.
+pub fn synthetic_service(workers: usize, salt: u64) -> String {
+    let mut src = String::from(
+        "
+        extern void read_passwd(char *u, private char *p, int n);
+        extern int send(int fd, char *buf, int n);
+        extern int log_write(char *buf, int n);
+
+        char banner[8];
+
+        int setup() {
+            banner[0] = 79; banner[1] = 75; banner[2] = 10;
+            return 1;
+        }
+",
+    );
+    for i in 0..workers {
+        let reps = 6 + (i % 5);
+        let scale = i + 2;
+        src.push_str(&format!(
+            "
+        int w{i}(int x) {{
+            int j;
+            int acc = x + {i};
+            for (j = 0; j < {reps}; j = j + 1) {{ acc = acc + j * {scale}; }}
+            return acc;
+        }}
+"
+        ));
+    }
+    src.push_str(&format!(
+        "
+        private int digest(private char *pw, int n) {{
+            int i;
+            int acc = {salt};
+            for (i = 0; i < n; i = i + 1) {{ acc = acc + pw[i] * 31; }}
+            return acc;
+        }}
+
+        int handle_login(int attempt) {{
+            char user[8];
+            user[0] = 117; user[1] = 0;
+            char pw[32];
+            read_passwd(user, pw, 32);
+            private int d = digest(pw, 32);
+            int acc = attempt;
+"
+    ));
+    for i in 0..workers {
+        src.push_str(&format!("            acc = w{i}(acc);\n"));
+    }
+    src.push_str(
+        "
+            send(1, banner, 3);
+            char line[4];
+            int digit = attempt % 10;
+            line[0] = 76;
+            line[1] = 48 + digit;
+            line[2] = 10;
+            log_write(line, 3);
+            return acc;
+        }
+
+        int main() { return handle_login(0); }
+",
+    );
+    src
+}
+
+/// The verification fleet: synthetic services of varying size under both
+/// production configurations, plus the SPEC stand-in kernels.
+pub fn fleet_binaries(quick: bool) -> Vec<Binary> {
+    let synthetic = if quick { 8 } else { 32 };
+    let mut out = Vec::new();
+    for i in 0..synthetic {
+        let config = if i % 2 == 0 {
+            Config::OurMpx
+        } else {
+            Config::OurSeg
+        };
+        let source = synthetic_service(2 + (i % 6), i as u64);
+        out.push(
+            compile_for(&source, config)
+                .unwrap_or_else(|e| panic!("fleet binary {i} must compile: {e}"))
+                .binary(),
+        );
+    }
+    let kernels = if quick { 4 } else { 8 };
+    for (i, kernel) in spec::KERNELS.iter().cycle().take(kernels).enumerate() {
+        let config = if i % 2 == 0 {
+            Config::OurSeg
+        } else {
+            Config::OurMpx
+        };
+        let opts = CompileOptions {
+            config,
+            entry: "run".to_string(),
+            ..Default::default()
+        };
+        out.push(
+            confllvm_core::compile(kernel.source, &opts)
+                .unwrap_or_else(|e| panic!("spec kernel {} must compile: {e}", kernel.name))
+                .binary(),
+        );
+    }
+    out
+}
+
+/// What the hot-swap harness observed.
+#[derive(Debug, Clone)]
+pub struct HotSwapReport {
+    /// Sessions served by the first deployed version, across all phases.
+    pub served_v1: usize,
+    /// Sessions served by the promoted replacement.
+    pub served_v2: usize,
+    /// Sessions served by any version that was never promoted (warm,
+    /// rejected, …).  The hot-swap safety property is that this is zero.
+    pub unverified_serves: usize,
+    /// Final lifecycle state of v1 (must be `retired`).
+    pub v1_state: String,
+    /// Final lifecycle state of v2 (must be `active`).
+    pub v2_state: String,
+    /// Final lifecycle state of the tampered re-submission (must be
+    /// `rejected`).
+    pub tampered_state: String,
+    /// Did every phase produce the byte-identical observable trace?
+    pub observables_stable: bool,
+}
+
+/// Everything the `verify_scale` section measured.
+#[derive(Debug, Clone)]
+pub struct VerifyScaleReport {
+    /// Was this the `--quick` fleet?
+    pub quick: bool,
+    /// Fleet size in binaries.
+    pub fleet_binaries: usize,
+    /// Total procedures across the fleet.
+    pub fleet_procedures: usize,
+    /// Verifier-accepted binaries (must equal `fleet_binaries`).
+    pub accepted: usize,
+    /// Serial fleet verification: sum of per-task times, microseconds.
+    pub serial_total_micros: u128,
+    /// Workers the parallel run modelled.
+    pub parallel_threads: usize,
+    /// Makespan of the parallel schedule, microseconds.
+    pub parallel_makespan_micros: u128,
+    /// Work/makespan speedup of the parallel schedule over serial.
+    pub modeled_speedup: f64,
+    /// Host time for the first (cold-cache) verification sweep.
+    pub cache_first_micros: u128,
+    /// Host time re-verifying the identical fleet through the warm cache.
+    pub cache_second_micros: u128,
+    /// `cache_first_micros / cache_second_micros`.
+    pub cache_speedup: f64,
+    /// Cache hits after both sweeps (one per binary on the second).
+    pub cache_hits: u64,
+    /// Cache misses after both sweeps.
+    pub cache_misses: u64,
+    /// The hot-swap harness results.
+    pub swap: HotSwapReport,
+    /// Measured host p99 request latency with the machine quiet, ns.
+    pub quiet_p99_nanos: u64,
+    /// Measured host p99 with concurrent verification load, ns.
+    pub swap_p99_nanos: u64,
+}
+
+/// Serial-vs-parallel and cold-vs-warm-cache measurements over the fleet.
+fn fleet_measurements(quick: bool, report: &mut VerifyScaleReport) {
+    let binaries = fleet_binaries(quick);
+    let refs: Vec<&Binary> = binaries.iter().collect();
+    report.fleet_binaries = refs.len();
+
+    let serial = verify_fleet(&refs, &VerifyOptions::serial(), None);
+    assert_eq!(
+        serial.accepted(),
+        refs.len(),
+        "every fleet binary must be verifier-accepted"
+    );
+    report.accepted = serial.accepted();
+    report.fleet_procedures = serial
+        .results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|r| r.procedures)
+        .sum();
+    report.serial_total_micros = serial.total_task_micros;
+
+    let parallel = verify_fleet(&refs, &VerifyOptions::with_threads(FLEET_THREADS), None);
+    assert_eq!(parallel.accepted(), refs.len());
+    report.parallel_threads = parallel.threads;
+    report.parallel_makespan_micros = parallel.makespan_micros;
+    report.modeled_speedup = parallel.modeled_speedup();
+    assert!(
+        report.modeled_speedup >= 2.0,
+        "parallel fleet verification must model >=2x over serial, got {:.2}x",
+        report.modeled_speedup
+    );
+
+    // The cache sweeps call verify_with directly (no work-queue threads):
+    // what is being compared is re-registration cost, and the fleet
+    // scaffolding would otherwise dominate the O(1) warm path.
+    let cache = VerifyCache::new();
+    let t0 = Instant::now();
+    let first: Vec<_> = refs
+        .iter()
+        .map(|b| verify_with(b, &VerifyOptions::serial(), Some(&cache)))
+        .collect();
+    report.cache_first_micros = t0.elapsed().as_micros().max(1);
+    assert!(first.iter().all(|r| r.is_ok()));
+    let t1 = Instant::now();
+    let second: Vec<_> = refs
+        .iter()
+        .map(|b| verify_with(b, &VerifyOptions::serial(), Some(&cache)))
+        .collect();
+    report.cache_second_micros = t1.elapsed().as_micros().max(1);
+    for r in &second {
+        let r = r.as_ref().expect("accepted");
+        assert_eq!(
+            r.cached_procedures, r.procedures,
+            "an unchanged binary must re-verify as a pure cache hit"
+        );
+    }
+    report.cache_speedup = report.cache_first_micros as f64 / report.cache_second_micros as f64;
+    assert!(
+        report.cache_speedup >= 10.0,
+        "warm-cache re-verification must be >=10x faster, got {:.1}x \
+         ({} -> {} micros)",
+        report.cache_speedup,
+        report.cache_first_micros,
+        report.cache_second_micros
+    );
+    let stats = cache.stats();
+    report.cache_hits = stats.hits;
+    report.cache_misses = stats.misses;
+}
+
+/// The request streams the hot-swap harness serves in every phase.
+fn swap_sessions(n: usize) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|id| {
+            let mut w = confllvm_core::vm::World::new();
+            w.set_password("u", format!("swap-secret-{id}!").as_bytes());
+            let requests = (0..4i64)
+                .map(|i| Request::new("handle_login", &[i]))
+                .collect();
+            SessionSpec::new(id, w, requests)
+        })
+        .collect()
+}
+
+/// Blue/green hot-swap under live traffic.  v2 of the service verifies
+/// *while* v1 serves a phase of traffic (on a real background thread);
+/// promotion cuts new sessions over; a tampered v3 is rejected without the
+/// active version ever flinching.
+fn hot_swap_harness(report: &mut VerifyScaleReport) {
+    let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified).with_verify_threads(2));
+    let opts = CompileOptions {
+        config: Config::OurMpx,
+        entry: "setup".to_string(),
+        ..Default::default()
+    };
+    let setup = Some(SetupSpec::new("setup", &[]));
+    let v1_source = synthetic_service(3, 1);
+    // Same service, one private-only constant changed: a new build whose
+    // observable behaviour is identical — the realistic rolling upgrade.
+    let v2_source = synthetic_service(3, 2);
+
+    let v1 = registry
+        .deploy_source("auth", &v1_source, &opts, setup.clone())
+        .expect("v1 deploys");
+    let binary = registry.binary_id("auth").unwrap();
+    let server = Server::new(Arc::clone(&registry), ServerConfig::new().workers(2));
+    let sessions = swap_sessions(4);
+
+    // Phase A: v1 serves alone.
+    let phase_a = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+
+    // Phase B: v1 keeps serving while v2 compiles + verifies concurrently.
+    let (phase_b, v2) = std::thread::scope(|scope| {
+        let submit = {
+            let registry = Arc::clone(&registry);
+            let opts = opts.clone();
+            let setup = setup.clone();
+            let v2_source = v2_source.clone();
+            scope.spawn(move || {
+                registry
+                    .submit_source("auth", &v2_source, &opts, setup)
+                    .expect("v2 verifies")
+            })
+        };
+        let phase_b = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+        (phase_b, submit.join().expect("submit thread panicked"))
+    });
+    // v2 is warm but NOT active: phase B must have served v1 throughout.
+    assert_eq!(registry.version_state(v2), Some(VersionState::Warm));
+
+    // Cut over, then phase C lands entirely on v2 and v1 retires.
+    registry.promote(v2).expect("warm v2 promotes");
+    let phase_c = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+
+    // A tampered v3 (bound checks stripped) is rejected; v2 never flinches.
+    let tampered = {
+        let compiled = compile_for(&v1_source, Config::OurMpx).unwrap();
+        let mut program = compiled.program.clone();
+        for inst in &mut program.insts {
+            if matches!(
+                inst,
+                confllvm_core::machine::MInst::BndCheck {
+                    bnd: confllvm_core::machine::BndReg::Bnd1,
+                    ..
+                }
+            ) {
+                *inst = confllvm_core::machine::MInst::Nop;
+            }
+        }
+        program
+    };
+    let v3 = registry
+        .submit_program("auth", tampered, Config::OurMpx, setup)
+        .expect_err("tampered v3 must be rejected")
+        .version()
+        .expect("rejection minted a version");
+    let phase_d = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+
+    let promoted = [v1, v2];
+    let mut served_v1 = 0;
+    let mut served_v2 = 0;
+    let mut unverified = 0;
+    for phase in [&phase_a, &phase_b, &phase_c, &phase_d] {
+        for s in &phase.sessions {
+            if s.version == v1 {
+                served_v1 += 1;
+            } else if s.version == v2 {
+                served_v2 += 1;
+            }
+            if !promoted.contains(&s.version) {
+                unverified += 1;
+            }
+        }
+    }
+    assert_eq!(unverified, 0, "a non-promoted version served traffic");
+    assert_eq!(served_v1, 8, "phases A and B serve v1");
+    assert_eq!(served_v2, 8, "phases C and D serve v2");
+
+    // The swap is observably invisible: every phase's attacker-observable
+    // trace is byte-identical (v2 differs only in private state).
+    let observables_stable = [&phase_b, &phase_c, &phase_d]
+        .iter()
+        .all(|p| p.observable() == phase_a.observable());
+    assert!(
+        observables_stable,
+        "the hot swap must not change the observable trace"
+    );
+
+    let state = |v| {
+        registry
+            .version_state(v)
+            .map(|s| s.name().to_string())
+            .unwrap_or_default()
+    };
+    report.swap = HotSwapReport {
+        served_v1,
+        served_v2,
+        unverified_serves: unverified,
+        v1_state: state(v1),
+        v2_state: state(v2),
+        tampered_state: state(v3),
+        observables_stable,
+    };
+    assert_eq!(report.swap.v1_state, "retired");
+    assert_eq!(report.swap.v2_state, "active");
+    assert_eq!(report.swap.tampered_state, "rejected");
+}
+
+/// Measured host p99 request latency, quiet vs under concurrent
+/// verification load.  Reported, not asserted — host timings on a shared
+/// box are noise-prone, which is exactly why every *assertion* in this
+/// section runs on deterministic counts and modeled schedules instead.
+fn interference_measurements(quick: bool, report: &mut VerifyScaleReport) {
+    let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
+    let opts = CompileOptions {
+        config: Config::OurMpx,
+        entry: "setup".to_string(),
+        ..Default::default()
+    };
+    registry
+        .deploy_source(
+            "auth",
+            &synthetic_service(3, 1),
+            &opts,
+            Some(SetupSpec::new("setup", &[])),
+        )
+        .unwrap();
+    let binary = registry.binary_id("auth").unwrap();
+    let server = Server::new(Arc::clone(&registry), ServerConfig::new().workers(1));
+    let sessions = swap_sessions(if quick { 3 } else { 6 });
+
+    let quiet = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+    report.quiet_p99_nanos = quiet.metrics.host_percentile(99);
+
+    // Same streams again, now with verifier threads grinding the fleet.
+    let load_binaries = fleet_binaries(true);
+    let stop = AtomicBool::new(false);
+    let loaded = std::thread::scope(|scope| {
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for b in &load_binaries {
+                        let _ = verify_with(b, &VerifyOptions::serial(), None);
+                    }
+                }
+            });
+        }
+        let loaded = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+        stop.store(true, Ordering::Relaxed);
+        loaded
+    });
+    report.swap_p99_nanos = loaded.metrics.host_percentile(99);
+    // Interference must not change behaviour, only timing.
+    assert_eq!(quiet.observable(), loaded.observable());
+}
+
+/// Run every `verify_scale` measurement.
+pub fn verify_scale_report(quick: bool) -> VerifyScaleReport {
+    let mut report = VerifyScaleReport {
+        quick,
+        fleet_binaries: 0,
+        fleet_procedures: 0,
+        accepted: 0,
+        serial_total_micros: 0,
+        parallel_threads: 0,
+        parallel_makespan_micros: 0,
+        modeled_speedup: 0.0,
+        cache_first_micros: 0,
+        cache_second_micros: 0,
+        cache_speedup: 0.0,
+        cache_hits: 0,
+        cache_misses: 0,
+        swap: HotSwapReport {
+            served_v1: 0,
+            served_v2: 0,
+            unverified_serves: 0,
+            v1_state: String::new(),
+            v2_state: String::new(),
+            tampered_state: String::new(),
+            observables_stable: false,
+        },
+        quiet_p99_nanos: 0,
+        swap_p99_nanos: 0,
+    };
+    fleet_measurements(quick, &mut report);
+    hot_swap_harness(&mut report);
+    interference_measurements(quick, &mut report);
+    report
+}
+
+/// Render the section as an aligned text table.
+pub fn render_verify_scale(r: &VerifyScaleReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "== Fleet-scale verification — parallel ConfVerify, content-hash cache, blue/green hot-swap\n",
+    );
+    out.push_str(&format!(
+        "   fleet: {} binaries, {} procedures, {} verifier-accepted\n",
+        r.fleet_binaries, r.fleet_procedures, r.accepted
+    ));
+    out.push_str(&format!(
+        "   serial verify        {:>10} us (sum of per-task times)\n",
+        r.serial_total_micros
+    ));
+    out.push_str(&format!(
+        "   parallel verify      {:>10} us makespan over {} workers  -> {:.2}x modeled speedup\n",
+        r.parallel_makespan_micros, r.parallel_threads, r.modeled_speedup
+    ));
+    out.push_str(&format!(
+        "   cold-cache sweep     {:>10} us host\n",
+        r.cache_first_micros
+    ));
+    out.push_str(&format!(
+        "   warm-cache sweep     {:>10} us host                      -> {:.1}x speedup ({} hits, {} misses)\n",
+        r.cache_second_micros, r.cache_speedup, r.cache_hits, r.cache_misses
+    ));
+    out.push_str(&format!(
+        "   hot swap: {} sessions on v1, {} on v2, {} on unpromoted versions; v1 {}, v2 {}, tampered v3 {}\n",
+        r.swap.served_v1,
+        r.swap.served_v2,
+        r.swap.unverified_serves,
+        r.swap.v1_state,
+        r.swap.v2_state,
+        r.swap.tampered_state
+    ));
+    out.push_str(&format!(
+        "   observable trace byte-identical across the swap: {}\n",
+        r.swap.observables_stable
+    ));
+    out.push_str(&format!(
+        "   request host p99: {} ns quiet, {} ns under concurrent verification\n",
+        r.quiet_p99_nanos, r.swap_p99_nanos
+    ));
+    out
+}
+
+/// Serialise the report as JSON.  Scalars only, keys sorted by emission
+/// order, so the golden diff can parse it with the tiny reader below.
+pub fn verify_scale_json(r: &VerifyScaleReport) -> String {
+    let mut s = String::from("{\n");
+    let mut field = |key: &str, value: String, last: bool| {
+        s.push_str(&format!("  \"{key}\": {value}"));
+        s.push_str(if last { "\n" } else { ",\n" });
+    };
+    field("section", "\"verify_scale\"".to_string(), false);
+    field("quick", r.quick.to_string(), false);
+    field("fleet.binaries", r.fleet_binaries.to_string(), false);
+    field("fleet.procedures", r.fleet_procedures.to_string(), false);
+    field("fleet.accepted", r.accepted.to_string(), false);
+    field(
+        "serial.total_task_micros",
+        r.serial_total_micros.to_string(),
+        false,
+    );
+    field("parallel.threads", r.parallel_threads.to_string(), false);
+    field(
+        "parallel.makespan_micros",
+        r.parallel_makespan_micros.to_string(),
+        false,
+    );
+    field(
+        "parallel.modeled_speedup",
+        format!("{:.3}", r.modeled_speedup),
+        false,
+    );
+    field(
+        "cache.first_micros",
+        r.cache_first_micros.to_string(),
+        false,
+    );
+    field(
+        "cache.second_micros",
+        r.cache_second_micros.to_string(),
+        false,
+    );
+    field("cache.speedup", format!("{:.3}", r.cache_speedup), false);
+    field("cache.hits", r.cache_hits.to_string(), false);
+    field("cache.misses", r.cache_misses.to_string(), false);
+    field("hot_swap.served_v1", r.swap.served_v1.to_string(), false);
+    field("hot_swap.served_v2", r.swap.served_v2.to_string(), false);
+    field(
+        "hot_swap.unverified_serves",
+        r.swap.unverified_serves.to_string(),
+        false,
+    );
+    field(
+        "hot_swap.v1_state",
+        format!("\"{}\"", r.swap.v1_state),
+        false,
+    );
+    field(
+        "hot_swap.v2_state",
+        format!("\"{}\"", r.swap.v2_state),
+        false,
+    );
+    field(
+        "hot_swap.tampered_state",
+        format!("\"{}\"", r.swap.tampered_state),
+        false,
+    );
+    field(
+        "hot_swap.observables_stable",
+        r.swap.observables_stable.to_string(),
+        false,
+    );
+    field(
+        "interference.quiet_p99_nanos",
+        r.quiet_p99_nanos.to_string(),
+        false,
+    );
+    field(
+        "interference.swap_p99_nanos",
+        r.swap_p99_nanos.to_string(),
+        true,
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Write the JSON atomically (temp file + rename) so a crashed run never
+/// leaves a half-written benchmark file behind.
+pub fn write_verify_scale_json(
+    r: &VerifyScaleReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    let json = verify_scale_json(r);
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Parse the flat `"key": value` JSON this module emits into (key, value)
+/// pairs.  Only handles the subset we write: one scalar field per line.
+fn parse_flat_json(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line == "{" || line == "}" || line.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            return Err(format!("unparseable line: `{line}`"));
+        };
+        let key = key.trim().trim_matches('"').to_string();
+        let value = value.trim().trim_matches('"').to_string();
+        out.push((key, value));
+    }
+    if out.is_empty() {
+        return Err("no fields found".to_string());
+    }
+    Ok(out)
+}
+
+/// Is this key a host-timing measurement (machine-dependent)?
+fn is_timing_key(key: &str) -> bool {
+    key.ends_with("_micros") || key.ends_with("_nanos") || key.ends_with("speedup")
+}
+
+/// Diff a freshly emitted benchmark JSON against the golden copy.
+///
+/// Two tolerance classes:
+/// * **timing keys** (`*_micros`, `*_nanos`, `*speedup`) are machine-
+///   dependent — both sides must merely be positive numbers;
+/// * **everything else** (fleet sizes, procedure counts, cache hit counts,
+///   hot-swap session counts, lifecycle states) is deterministic and must
+///   match exactly.
+///
+/// Returns the list of mismatch descriptions (empty = pass).
+pub fn diff_bench_json(actual: &str, golden: &str) -> Result<Vec<String>, String> {
+    let actual = parse_flat_json(actual)?;
+    let golden = parse_flat_json(golden)?;
+    let mut errors = Vec::new();
+    let a_map: std::collections::BTreeMap<_, _> = actual.iter().cloned().collect();
+    let g_map: std::collections::BTreeMap<_, _> = golden.iter().cloned().collect();
+    for key in g_map.keys() {
+        if !a_map.contains_key(key) {
+            errors.push(format!("missing key `{key}`"));
+        }
+    }
+    for key in a_map.keys() {
+        if !g_map.contains_key(key) {
+            errors.push(format!("unexpected key `{key}`"));
+        }
+    }
+    for (key, a) in &a_map {
+        let Some(g) = g_map.get(key) else { continue };
+        if is_timing_key(key) {
+            let a_ok = a.parse::<f64>().map(|v| v > 0.0).unwrap_or(false);
+            let g_ok = g.parse::<f64>().map(|v| v > 0.0).unwrap_or(false);
+            if !a_ok || !g_ok {
+                errors.push(format!(
+                    "timing key `{key}` must be a positive number (actual `{a}`, golden `{g}`)"
+                ));
+            }
+        } else if a != g {
+            errors.push(format!("key `{key}`: actual `{a}` != golden `{g}`"));
+        }
+    }
+    Ok(errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_report_satisfies_every_acceptance_bound() {
+        // verify_scale_report asserts internally: modeled speedup >= 2x,
+        // warm cache >= 10x, zero unpromoted serves, stable observables.
+        let r = verify_scale_report(true);
+        assert_eq!(r.fleet_binaries, 12);
+        assert_eq!(r.accepted, 12);
+        assert!(r.fleet_procedures > r.fleet_binaries, "multi-proc fleet");
+        // At least one binary-level hit per binary on the second sweep; the
+        // first sweep adds procedure-level hits for worker functions shared
+        // across fleet binaries (deterministic, so still exact-diffed).
+        assert!(r.cache_hits >= r.fleet_binaries as u64, "{}", r.cache_hits);
+        assert_eq!(r.swap.unverified_serves, 0);
+        assert!(r.quiet_p99_nanos > 0);
+        assert!(r.swap_p99_nanos > 0);
+    }
+
+    #[test]
+    fn json_round_trips_and_diffs_cleanly_against_itself() {
+        let r = verify_scale_report(true);
+        let json = verify_scale_json(&r);
+        let errors = diff_bench_json(&json, &json).unwrap();
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn diff_flags_deterministic_drift_but_not_timing_drift() {
+        let r = verify_scale_report(true);
+        let json = verify_scale_json(&r);
+        // Timing drift: fine.
+        let timing_drift = json.replace(
+            &format!("\"cache.first_micros\": {}", r.cache_first_micros),
+            "\"cache.first_micros\": 999999",
+        );
+        assert!(diff_bench_json(&timing_drift, &json).unwrap().is_empty());
+        // Deterministic drift: flagged.
+        let real_drift = json.replace(
+            "\"hot_swap.unverified_serves\": 0",
+            "\"hot_swap.unverified_serves\": 1",
+        );
+        let errors = diff_bench_json(&real_drift, &json).unwrap();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("unverified_serves"));
+        // A zero timing value is also flagged (the measurement didn't run).
+        let zeroed = json.replace(
+            &format!("\"cache.speedup\": {:.3}", r.cache_speedup),
+            "\"cache.speedup\": 0.000",
+        );
+        let errors = diff_bench_json(&zeroed, &json).unwrap();
+        assert_eq!(errors.len(), 1, "{errors:?}");
+    }
+}

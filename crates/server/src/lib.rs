@@ -6,10 +6,19 @@
 //! requests through it against the trusted library T.  This crate is that
 //! serving layer on top of the simulator:
 //!
-//! * [`registry`] — the **verify-then-load** binary registry.  Registration
-//!   encodes the program and runs `confllvm_verify::verify`; an unverifiable
-//!   binary is rejected *before* it can serve traffic, which is exactly the
-//!   property that removes the compiler from the TCB.
+//! * [`handles`] — the opaque typed handles ([`BinaryId`], [`VersionId`],
+//!   [`SessionId`]) that replaced the string-keyed API: a service, one
+//!   submitted build of it, and one client session are different things
+//!   with different lifetimes, and the types now say which is which.
+//! * [`registry`] — the **versioned verify-then-load** registry.  Every
+//!   submission gets a [`VersionId`] and walks
+//!   `Verifying → Warm → Active → Draining → Retired` (or `Rejected`);
+//!   promotion is the atomic blue/green cut-over, and only promoted
+//!   versions can serve.  Verification runs outside the registry lock on a
+//!   parallel work queue, through a content-hash
+//!   [`VerifyCache`](confllvm_verify::VerifyCache) that makes
+//!   re-submitting unchanged content O(1).  See `crates/server/README.md`
+//!   for the full state machine.
 //! * [`pool`] — a pool of warm VM instances.  Each instance is loaded once,
 //!   runs the workload's setup entry point (e.g. `populate` for the directory
 //!   server), and is snapshotted; between requests it is rewound to the
@@ -22,17 +31,19 @@
 //! * [`reqgen`] — a deterministic request generator for the evaluation's
 //!   request mixes (file-serving, directory hit/miss).
 //! * [`metrics`] — per-request and per-stream aggregation: throughput,
-//!   latency percentiles, executed checks, and the split between application
-//!   cycles and U↔T crossing cycles.
+//!   latency percentiles, executed checks, the split between application
+//!   cycles and U↔T crossing cycles, and measured host time for the
+//!   load-vs-serve interference figures.
 //! * [`runtime`] — the [`Server`]: registry + pools + worker threads
 //!   driving many concurrent sessions, in either [`ExecMode::Cold`]
 //!   (fresh VM + setup per request) or [`ExecMode::Pooled`]
-//!   (snapshot/reset) mode.
+//!   (snapshot/reset) mode.  Sessions pin the version they start on, so a
+//!   promotion mid-run never swaps a binary under a live session.
 //!
-//! The `server_throughput` section of the `repro` driver is built on this
-//! crate and reports cold vs pooled requests/sec under each paper
-//! configuration.
+//! The `server_throughput` and `verify_scale` sections of the `repro`
+//! driver are built on this crate.
 
+pub mod handles;
 pub mod metrics;
 pub mod pool;
 pub mod registry;
@@ -40,9 +51,18 @@ pub mod reqgen;
 pub mod runtime;
 pub mod session;
 
+pub use handles::{BinaryId, SessionId, VersionId};
 pub use metrics::{RequestMetrics, StreamMetrics};
 pub use pool::{PoolOptions, PooledInstance, VmPool};
-pub use registry::{BinaryRegistry, RegisterError, ServiceBinary, SetupSpec, VerifyPolicy};
+pub use registry::{
+    PromoteError, RegisterError, Registry, ServiceBinary, SetupSpec, VerifyPolicy, VersionInfo,
+    VersionState,
+};
 pub use reqgen::{RequestGen, StreamKind};
-pub use runtime::{ExecMode, ServeError, Server, ServerOptions, ServiceReport, SessionOutcome};
-pub use session::{Request, SessionSpec};
+pub use runtime::{ExecMode, ServeError, Server, ServerConfig, ServiceReport, SessionOutcome};
+pub use session::{Request, SessionSpec, SessionSpecBuilder};
+
+#[allow(deprecated)]
+pub use registry::BinaryRegistry;
+#[allow(deprecated)]
+pub use runtime::ServerOptions;

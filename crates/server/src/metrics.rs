@@ -32,6 +32,11 @@ pub struct RequestMetrics {
     pub stack_switches: u64,
     /// Cycles spent crossing the U/T boundary.
     pub extern_cycles: u64,
+    /// Host-side wall time of the request, nanoseconds.  Unlike every cycle
+    /// figure this is *measured*, not simulated — it is what the
+    /// load-vs-serve interference numbers quote (how much a concurrent
+    /// verification slows real request handling down).
+    pub host_nanos: u64,
 }
 
 impl RequestMetrics {
@@ -49,6 +54,7 @@ impl RequestMetrics {
             extern_calls: after.extern_calls - before.extern_calls,
             stack_switches: after.stack_switches - before.stack_switches,
             extern_cycles: after.extern_cycles - before.extern_cycles,
+            host_nanos: 0,
         }
     }
 
@@ -77,8 +83,12 @@ pub struct StreamMetrics {
     pub extern_calls: u64,
     pub stack_switches: u64,
     pub extern_cycles: u64,
+    /// Total measured host time over the stream, nanoseconds.
+    pub host_nanos: u64,
     /// Per-request total cycles, kept for the latency percentiles.
     latencies: Vec<u64>,
+    /// Per-request measured host times, kept for the host percentiles.
+    host_latencies: Vec<u64>,
 }
 
 impl StreamMetrics {
@@ -94,7 +104,9 @@ impl StreamMetrics {
         self.extern_calls += r.extern_calls;
         self.stack_switches += r.stack_switches;
         self.extern_cycles += r.extern_cycles;
+        self.host_nanos += r.host_nanos;
         self.latencies.push(r.cycles);
+        self.host_latencies.push(r.host_nanos);
     }
 
     /// Fold another stream's totals into this one.
@@ -110,7 +122,9 @@ impl StreamMetrics {
         self.extern_calls += other.extern_calls;
         self.stack_switches += other.stack_switches;
         self.extern_cycles += other.extern_cycles;
+        self.host_nanos += other.host_nanos;
         self.latencies.extend_from_slice(&other.latencies);
+        self.host_latencies.extend_from_slice(&other.host_latencies);
     }
 
     /// Requests per billion simulated cycles.
@@ -128,10 +142,20 @@ impl StreamMetrics {
 
     /// The `pct`-th latency percentile in simulated cycles (e.g. 50, 99).
     pub fn percentile(&self, pct: u32) -> u64 {
-        if self.latencies.is_empty() {
+        Self::rank_of(&self.latencies, pct)
+    }
+
+    /// The `pct`-th *measured host* latency percentile in nanoseconds —
+    /// what the load-vs-serve interference comparison quotes.
+    pub fn host_percentile(&self, pct: u32) -> u64 {
+        Self::rank_of(&self.host_latencies, pct)
+    }
+
+    fn rank_of(samples: &[u64], pct: u32) -> u64 {
+        if samples.is_empty() {
             return 0;
         }
-        let mut sorted = self.latencies.clone();
+        let mut sorted = samples.to_vec();
         sorted.sort_unstable();
         let rank = (pct as usize * sorted.len()).div_ceil(100);
         sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
@@ -198,6 +222,20 @@ mod tests {
         assert_eq!(a.requests, 2);
         assert_eq!(a.mean_cycles(), 200);
         assert_eq!(a.percentile(99), 300);
+    }
+
+    #[test]
+    fn host_time_is_tracked_separately_from_cycles() {
+        let mut s = StreamMetrics::default();
+        for (cycles, nanos) in [(100, 5_000), (100, 9_000), (100, 1_000)] {
+            let mut r = req(cycles);
+            r.host_nanos = nanos;
+            s.add(&r);
+        }
+        assert_eq!(s.host_nanos, 15_000);
+        assert_eq!(s.host_percentile(50), 5_000);
+        assert_eq!(s.host_percentile(99), 9_000);
+        assert_eq!(s.percentile(99), 100, "cycle percentiles unaffected");
     }
 
     #[test]

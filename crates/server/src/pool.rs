@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use confllvm_vm::{Outcome, Vm, VmOptions, VmSnapshot, World};
 
+use crate::handles::SessionId;
 use crate::registry::ServiceBinary;
 
 /// Cost accounting for the snapshot-restore, in simulated cycles.  Rewinding
@@ -91,8 +92,10 @@ impl PooledInstance {
 pub struct VmPool {
     binary: std::sync::Arc<ServiceBinary>,
     vm_opts: VmOptions,
+    /// Snapshot-restore cost model.
     pub opts: PoolOptions,
-    instances: HashMap<usize, PooledInstance>,
+    instances: HashMap<SessionId, PooledInstance>,
+    /// How many warm instances were ever spawned.
     pub spawned: u64,
 }
 
@@ -135,7 +138,7 @@ impl VmPool {
     /// snapshot) on first use.
     pub fn instance(
         &mut self,
-        session: usize,
+        session: SessionId,
         world: &World,
     ) -> Result<&mut PooledInstance, SpawnError> {
         if !self.instances.contains_key(&session) {
@@ -169,24 +172,28 @@ impl VmPool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{BinaryRegistry, SetupSpec, VerifyPolicy};
+    use crate::registry::{Registry, SetupSpec, VerifyPolicy};
     use confllvm_core::{CompileOptions, Config};
     use confllvm_workloads::ldap;
 
     fn ldap_binary() -> std::sync::Arc<ServiceBinary> {
-        let mut reg = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let reg = Registry::new(VerifyPolicy::RequireVerified);
         let opts = CompileOptions {
             config: Config::OurMpx,
             entry: ldap::SETUP_ENTRY.to_string(),
             ..Default::default()
         };
-        reg.register_source(
+        reg.deploy_source(
             "ldap",
             &ldap::annotated_source(),
             &opts,
             Some(SetupSpec::new(ldap::SETUP_ENTRY, &[32])),
         )
-        .expect("directory server must verify")
+        .expect("directory server must verify");
+        let binary = reg.binary_id("ldap").unwrap();
+        let (version, service) = reg.checkout_active(binary).unwrap();
+        reg.release(version);
+        service
     }
 
     fn world() -> World {
@@ -201,7 +208,7 @@ mod tests {
         let mut pool = VmPool::new(binary, VmOptions::default(), PoolOptions::default());
         let pool_opts = pool.opts;
         let w = world();
-        let inst = pool.instance(7, &w).unwrap();
+        let inst = pool.instance(SessionId::new(7), &w).unwrap();
         assert!(inst.setup_cycles > 0, "populate must cost cycles");
         for round in 0..3 {
             let (_dirty, cost) = inst.reset(&pool_opts);
@@ -227,7 +234,7 @@ mod tests {
         w1.set_password("user", b"alpha-password!!");
         let mut w2 = World::new();
         w2.set_password("user", b"omega-password??");
-        let a = pool.instance(1, &w1).unwrap();
+        let a = pool.instance(SessionId::new(1), &w1).unwrap();
         let a_resp = {
             a.reset(&pool_opts);
             let r =
@@ -235,7 +242,7 @@ mod tests {
             assert_eq!(r.exit_code(), Some(1));
             a.vm.world.sent.clone()
         };
-        let b = pool.instance(2, &w2).unwrap();
+        let b = pool.instance(SessionId::new(2), &w2).unwrap();
         let b_resp = {
             b.reset(&pool_opts);
             let r =

@@ -1,11 +1,18 @@
 //! The service runtime: registry + pools + worker threads.
 //!
 //! [`Server::serve`] drives many concurrent sessions' request streams
-//! against one registered binary.  Sessions are partitioned round-robin over
-//! worker threads; each worker owns the VM instances of its sessions (VMs
-//! are plain `Send` state, nothing is shared mutably across workers), so the
-//! simulation stays deterministic per session while the host-side work is
-//! genuinely parallel.
+//! against one registered binary, addressed by its [`BinaryId`] handle.
+//! Sessions are partitioned round-robin over worker threads; each worker
+//! owns the VM instances of its sessions (VMs are plain `Send` state,
+//! nothing is shared mutably across workers), so the simulation stays
+//! deterministic per session while the host-side work is genuinely
+//! parallel.
+//!
+//! Every session *pins* the binary's active version at session start
+//! ([`Registry::checkout_active`]) and releases it when its stream ends, so
+//! a blue/green promotion that lands mid-serve only affects sessions that
+//! start after it — in-flight sessions finish on the version they began
+//! with, and the drained old version retires once the last one ends.
 //!
 //! Two execution modes make the serving cost model measurable:
 //!
@@ -15,13 +22,16 @@
 //!   post-setup snapshot between requests (O(dirty pages)), the paper's
 //!   many-requests-per-load deployment.
 
+use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use confllvm_vm::{Outcome, VmOptions};
 
+use crate::handles::{BinaryId, SessionId, VersionId};
 use crate::metrics::{RequestMetrics, StreamMetrics};
 use crate::pool::{PoolOptions, SpawnError, VmPool};
-use crate::registry::{BinaryRegistry, ServiceBinary};
+use crate::registry::Registry;
 use crate::session::SessionSpec;
 
 /// How requests are executed.
@@ -34,6 +44,7 @@ pub enum ExecMode {
 }
 
 impl ExecMode {
+    /// Short lower-case name for reports.
     pub fn name(self) -> &'static str {
         match self {
             ExecMode::Cold => "cold",
@@ -42,18 +53,21 @@ impl ExecMode {
     }
 }
 
-/// Runtime configuration.
+/// Runtime configuration, built fluently:
+/// `ServerConfig::new().workers(8)`.
 #[derive(Debug, Clone)]
-pub struct ServerOptions {
+pub struct ServerConfig {
     /// Worker threads driving sessions (host-side parallelism).
     pub workers: usize,
+    /// Options for every VM the runtime spawns.
     pub vm: VmOptions,
+    /// Snapshot-restore cost model for pooled instances.
     pub pool: PoolOptions,
 }
 
-impl Default for ServerOptions {
+impl Default for ServerConfig {
     fn default() -> Self {
-        ServerOptions {
+        ServerConfig {
             workers: 4,
             vm: VmOptions::default(),
             pool: PoolOptions::default(),
@@ -61,24 +75,71 @@ impl Default for ServerOptions {
     }
 }
 
+impl ServerConfig {
+    /// The default configuration (4 workers).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker thread count.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the VM options.
+    pub fn vm(mut self, vm: VmOptions) -> Self {
+        self.vm = vm;
+        self
+    }
+
+    /// Set the pool cost model.
+    pub fn pool(mut self, pool: PoolOptions) -> Self {
+        self.pool = pool;
+        self
+    }
+}
+
+/// Compatibility alias for the pre-handle API.
+#[deprecated(since = "0.2.0", note = "use `ServerConfig`")]
+pub type ServerOptions = ServerConfig;
+
 /// A serving failure.
 #[derive(Debug)]
 pub enum ServeError {
+    /// The handle does not name a submitted binary.
     UnknownBinary {
+        /// The unknown handle.
+        binary: BinaryId,
+    },
+    /// No binary with this name was ever submitted (string-shim path).
+    UnknownName {
+        /// The unknown name.
         name: String,
+    },
+    /// The binary exists but nothing is promoted: versions may be warm,
+    /// draining or rejected, but none is active to serve new sessions.
+    NoActiveVersion {
+        /// The binary with nothing active.
+        binary: BinaryId,
     },
     /// Two sessions share an id.  Instances are keyed by session id, so
     /// admitting this would serve one client's requests against another
     /// client's private state.
     DuplicateSession {
-        id: usize,
+        /// The colliding id.
+        id: SessionId,
     },
+    /// An instance could not be spawned.
     Spawn(SpawnError),
     /// A request faulted (the instrumentation stopping an attempted leak is
     /// a fault, so a serving test failing here is meaningful).
     Request {
-        session: usize,
+        /// The session whose request failed.
+        session: SessionId,
+        /// Index of the request in the session's stream.
         index: usize,
+        /// How the request ended.
         outcome: Outcome,
     },
 }
@@ -86,16 +147,20 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::UnknownBinary { name } => write!(f, "no binary `{name}` registered"),
+            ServeError::UnknownBinary { binary } => write!(f, "no such binary {binary}"),
+            ServeError::UnknownName { name } => write!(f, "no binary `{name}` submitted"),
+            ServeError::NoActiveVersion { binary } => {
+                write!(f, "{binary} has no active version (nothing promoted)")
+            }
             ServeError::DuplicateSession { id } => {
-                write!(f, "duplicate session id {id} in one serve call")
+                write!(f, "duplicate {id} in one serve call")
             }
             ServeError::Spawn(e) => write!(f, "instance spawn failed: {e}"),
             ServeError::Request {
                 session,
                 index,
                 outcome,
-            } => write!(f, "session {session} request {index} failed: {outcome:?}"),
+            } => write!(f, "{session} request {index} failed: {outcome:?}"),
         }
     }
 }
@@ -111,7 +176,10 @@ impl From<SpawnError> for ServeError {
 /// What one session produced.
 #[derive(Debug, Clone)]
 pub struct SessionOutcome {
-    pub id: usize,
+    /// The session this outcome belongs to.
+    pub id: SessionId,
+    /// The version the session was pinned to for its whole stream.
+    pub version: VersionId,
     /// Exit code of each request's entry, in stream order.
     pub exit_codes: Vec<i64>,
     /// Bytes this session's requests sent on the network in clear —
@@ -120,13 +188,18 @@ pub struct SessionOutcome {
     /// Bytes this session's requests appended to the log —
     /// attacker-observable.
     pub log: Vec<u8>,
+    /// The session's aggregated request metrics.
     pub metrics: StreamMetrics,
 }
 
 /// The result of serving a set of streams.
 #[derive(Debug, Clone)]
 pub struct ServiceReport {
-    pub binary: String,
+    /// The served binary's handle.
+    pub binary: BinaryId,
+    /// The served binary's name (for display).
+    pub name: String,
+    /// Execution mode of the run.
     pub mode: ExecMode,
     /// Per-session outcomes, sorted by session id.
     pub sessions: Vec<SessionOutcome>,
@@ -151,45 +224,66 @@ impl ServiceReport {
         }
         v
     }
+
+    /// How many sessions were served by `version` — what the hot-swap
+    /// tests count per side of the blue/green cut.
+    pub fn sessions_on(&self, version: VersionId) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| s.version == version)
+            .count()
+    }
 }
 
-/// The service runtime.
+/// The service runtime.  Shares its [`Registry`] with submitters, so
+/// serving and (re-)registration run concurrently against one source of
+/// truth.
 #[derive(Debug, Default)]
 pub struct Server {
-    pub registry: BinaryRegistry,
-    pub opts: ServerOptions,
+    /// The shared verify-then-load registry.
+    pub registry: Arc<Registry>,
+    /// Runtime configuration.
+    pub config: ServerConfig,
 }
 
 impl Server {
-    pub fn new(registry: BinaryRegistry, opts: ServerOptions) -> Self {
-        Server { registry, opts }
+    /// A runtime over a shared registry.
+    pub fn new(registry: Arc<Registry>, config: ServerConfig) -> Self {
+        Server { registry, config }
     }
 
-    /// Serve every session's request stream against the registered binary
-    /// `name`, spreading sessions over worker threads.
+    /// Serve every session's request stream against `binary`'s active
+    /// version, spreading sessions over worker threads.  Each session pins
+    /// the version active *when it starts* and keeps it for its whole
+    /// stream.
     pub fn serve(
         &self,
-        name: &str,
+        binary: BinaryId,
         sessions: &[SessionSpec],
         mode: ExecMode,
     ) -> Result<ServiceReport, ServeError> {
-        let binary = self
-            .registry
-            .get(name)
-            .ok_or_else(|| ServeError::UnknownBinary {
-                name: name.to_string(),
-            })?;
+        // Fail fast on an unknown handle or an unpromoted binary, before
+        // any worker starts (individual sessions still re-checkout so a
+        // mid-run promotion is picked up by later sessions).
+        let (_, probe) = self.registry.checkout_active(binary).ok_or_else(|| {
+            if self.registry.versions(binary).is_empty() {
+                ServeError::UnknownBinary { binary }
+            } else {
+                ServeError::NoActiveVersion { binary }
+            }
+        })?;
+        let name = probe.name.clone();
+        self.registry.release(probe.version_id);
+
         let mut ids = std::collections::HashSet::new();
         for s in sessions {
             if !ids.insert(s.id) {
                 return Err(ServeError::DuplicateSession { id: s.id });
             }
         }
-        let mut vm_opts = self.opts.vm.clone();
-        vm_opts.allocator = binary.config.allocator();
-        let started = std::time::Instant::now();
+        let started = Instant::now();
 
-        let workers = self.opts.workers.max(1).min(sessions.len().max(1));
+        let workers = self.config.workers.max(1).min(sessions.len().max(1));
         let mut shards: Vec<Vec<SessionSpec>> = (0..workers).map(|_| Vec::new()).collect();
         for (i, s) in sessions.iter().enumerate() {
             shards[i % workers].push(s.clone());
@@ -200,10 +294,12 @@ impl Server {
                 let handles: Vec<_> = shards
                     .into_iter()
                     .map(|shard| {
-                        let binary = binary.clone();
-                        let vm_opts = vm_opts.clone();
-                        let pool_opts = self.opts.pool;
-                        scope.spawn(move || run_shard(binary, vm_opts, pool_opts, shard, mode))
+                        let registry = Arc::clone(&self.registry);
+                        let vm_opts = self.config.vm.clone();
+                        let pool_opts = self.config.pool;
+                        scope.spawn(move || {
+                            run_shard(&registry, binary, vm_opts, pool_opts, shard, mode)
+                        })
                     })
                     .collect();
                 handles
@@ -225,7 +321,8 @@ impl Server {
             metrics.merge(&s.metrics);
         }
         Ok(ServiceReport {
-            binary: name.to_string(),
+            binary,
+            name,
             mode,
             sessions: outcomes,
             metrics,
@@ -233,50 +330,82 @@ impl Server {
             host_micros: started.elapsed().as_micros(),
         })
     }
+
+    /// Compatibility shim for the pre-handle API: serve by name.
+    #[deprecated(since = "0.2.0", note = "resolve a `BinaryId` and use `serve`")]
+    pub fn serve_named(
+        &self,
+        name: &str,
+        sessions: &[SessionSpec],
+        mode: ExecMode,
+    ) -> Result<ServiceReport, ServeError> {
+        let binary = self
+            .registry
+            .binary_id(name)
+            .ok_or_else(|| ServeError::UnknownName {
+                name: name.to_string(),
+            })?;
+        self.serve(binary, sessions, mode)
+    }
 }
 
-/// Run one worker's share of the sessions.  Returns the outcomes plus the
-/// number of VMs spawned.
+/// Run one worker's share of the sessions.  Each session checks out the
+/// active version at its start (pinning it), serves its whole stream on
+/// that version's pool, and releases it at the end — success or failure.
+/// Returns the outcomes plus the number of VMs spawned.
 fn run_shard(
-    binary: Arc<ServiceBinary>,
+    registry: &Registry,
+    binary: BinaryId,
     vm_opts: VmOptions,
     pool_opts: PoolOptions,
     shard: Vec<SessionSpec>,
     mode: ExecMode,
 ) -> Result<(Vec<SessionOutcome>, u64), ServeError> {
-    let mut pool = VmPool::new(binary, vm_opts, pool_opts);
+    let mut pools: HashMap<VersionId, VmPool> = HashMap::new();
     let mut outcomes = Vec::with_capacity(shard.len());
     let mut spawned = 0u64;
     for session in &shard {
-        let outcome = match mode {
-            ExecMode::Pooled => run_session_pooled(&mut pool, session)?,
+        let (version, service) = registry
+            .checkout_active(binary)
+            .ok_or(ServeError::NoActiveVersion { binary })?;
+        let pool = pools.entry(version).or_insert_with(|| {
+            let mut opts = vm_opts.clone();
+            opts.allocator = service.config.allocator();
+            VmPool::new(service, opts, pool_opts)
+        });
+        let result = match mode {
+            ExecMode::Pooled => run_session_pooled(pool, version, session),
             ExecMode::Cold => {
                 spawned += session.requests.len() as u64;
-                run_session_cold(&pool, session)?
+                run_session_cold(pool, version, session)
             }
         };
-        outcomes.push(outcome);
+        registry.release(version);
+        outcomes.push(result?);
     }
     if mode == ExecMode::Pooled {
-        spawned = pool.spawned;
+        spawned = pools.values().map(|p| p.spawned).sum();
     }
     Ok((outcomes, spawned))
 }
 
 fn run_session_pooled(
     pool: &mut VmPool,
+    version: VersionId,
     session: &SessionSpec,
 ) -> Result<SessionOutcome, ServeError> {
     let pool_opts = pool.opts;
     let inst = pool.instance(session.id, &session.world)?;
     let mut out = SessionOutcome {
         id: session.id,
+        version,
         exit_codes: Vec::with_capacity(session.requests.len()),
         sent: Vec::new(),
         log: Vec::new(),
         metrics: StreamMetrics::default(),
     };
     for (index, req) in session.requests.iter().enumerate() {
+        let host_t0 = Instant::now();
         let (dirty, restore_cycles) = inst.reset(&pool_opts);
         if let Some(input) = &req.input {
             inst.vm.world.push_request(input);
@@ -297,6 +426,7 @@ fn run_session_pooled(
         m.restore_cycles = restore_cycles;
         m.dirty_pages = dirty;
         m.cycles += restore_cycles;
+        m.host_nanos = host_t0.elapsed().as_nanos() as u64;
         out.metrics.add(&m);
         out.sent
             .extend_from_slice(&inst.vm.world.sent[inst.sent_baseline..]);
@@ -306,15 +436,21 @@ fn run_session_pooled(
     Ok(out)
 }
 
-fn run_session_cold(pool: &VmPool, session: &SessionSpec) -> Result<SessionOutcome, ServeError> {
+fn run_session_cold(
+    pool: &VmPool,
+    version: VersionId,
+    session: &SessionSpec,
+) -> Result<SessionOutcome, ServeError> {
     let mut out = SessionOutcome {
         id: session.id,
+        version,
         exit_codes: Vec::with_capacity(session.requests.len()),
         sent: Vec::new(),
         log: Vec::new(),
         metrics: StreamMetrics::default(),
     };
     for (index, req) in session.requests.iter().enumerate() {
+        let host_t0 = Instant::now();
         let (mut vm, setup_cycles) = pool.spawn_cold(&session.world)?;
         let sent_baseline = vm.world.sent.len();
         let log_baseline = vm.world.log.len();
@@ -336,6 +472,7 @@ fn run_session_cold(pool: &VmPool, session: &SessionSpec) -> Result<SessionOutco
         let mut m = RequestMetrics::from_stats_delta(&before, &vm.stats);
         m.setup_cycles = setup_cycles;
         m.cycles += setup_cycles;
+        m.host_nanos = host_t0.elapsed().as_nanos() as u64;
         out.metrics.add(&m);
         out.sent.extend_from_slice(&vm.world.sent[sent_baseline..]);
         out.log.extend_from_slice(&vm.world.log[log_baseline..]);
@@ -351,27 +488,28 @@ mod tests {
     use confllvm_core::{CompileOptions, Config};
     use confllvm_workloads::{ldap, nginx};
 
-    fn ldap_server(config: Config, entries: i64) -> Server {
+    fn ldap_server(config: Config, entries: i64) -> (Server, BinaryId) {
         let policy = if config.is_instrumented() {
             VerifyPolicy::RequireVerified
         } else {
             VerifyPolicy::AllowUnverifiable
         };
-        let mut registry = crate::registry::BinaryRegistry::new(policy);
+        let registry = Arc::new(Registry::new(policy));
         let opts = CompileOptions {
             config,
             entry: ldap::SETUP_ENTRY.to_string(),
             ..Default::default()
         };
         registry
-            .register_source(
+            .deploy_source(
                 "ldap",
                 &ldap::annotated_source(),
                 &opts,
                 Some(SetupSpec::new(ldap::SETUP_ENTRY, &[entries])),
             )
             .expect("registers");
-        Server::new(registry, ServerOptions::default())
+        let binary = registry.binary_id("ldap").unwrap();
+        (Server::new(registry, ServerConfig::default()), binary)
     }
 
     fn ldap_sessions(n: usize, requests: usize, entries: usize) -> Vec<SessionSpec> {
@@ -393,13 +531,14 @@ mod tests {
 
     #[test]
     fn pooled_and_cold_agree_on_results_and_observables() {
-        let server = ldap_server(Config::OurMpx, 32);
+        let (server, binary) = ldap_server(Config::OurMpx, 32);
         let sessions = ldap_sessions(3, 6, 32);
-        let cold = server.serve("ldap", &sessions, ExecMode::Cold).unwrap();
-        let pooled = server.serve("ldap", &sessions, ExecMode::Pooled).unwrap();
+        let cold = server.serve(binary, &sessions, ExecMode::Cold).unwrap();
+        let pooled = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
         assert_eq!(cold.sessions.len(), 3);
         for (c, p) in cold.sessions.iter().zip(&pooled.sessions) {
             assert_eq!(c.id, p.id);
+            assert_eq!(c.version, p.version, "one deployed version serves both");
             assert_eq!(c.exit_codes, p.exit_codes, "mode must not change results");
             assert_eq!(c.sent, p.sent, "mode must not change the observable trace");
             assert_eq!(c.log, p.log);
@@ -413,29 +552,34 @@ mod tests {
         assert!(pooled.metrics.restore_cycles > 0);
         assert_eq!(cold.metrics.restore_cycles, 0);
         assert!(cold.metrics.setup_cycles > 0);
+        assert!(
+            pooled.metrics.host_nanos > 0,
+            "requests must carry measured host time"
+        );
     }
 
     #[test]
     fn nginx_streams_serve_under_all_modes() {
-        let mut registry = crate::registry::BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
         let opts = CompileOptions {
             config: Config::OurSeg,
             entry: nginx::SETUP_ENTRY.to_string(),
             ..Default::default()
         };
         registry
-            .register_source(
+            .deploy_source(
                 "nginx",
                 nginx::SOURCE,
                 &opts,
                 Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
             )
             .unwrap();
-        let server = Server::new(registry, ServerOptions::default());
-        let sessions: Vec<SessionSpec> = (0..2)
+        let binary = registry.binary_id("nginx").unwrap();
+        let server = Server::new(registry, ServerConfig::new());
+        let sessions: Vec<SessionSpec> = (0..2u64)
             .map(|id| {
                 let world = nginx::file_world(3, 512, id as u8);
-                let reqs = RequestGen::new(id as u64).stream(
+                let reqs = RequestGen::new(id).stream(
                     StreamKind::NginxFiles {
                         files: 3,
                         response_size: 512,
@@ -446,7 +590,7 @@ mod tests {
             })
             .collect();
         for mode in [ExecMode::Cold, ExecMode::Pooled] {
-            let report = server.serve("nginx", &sessions, mode).unwrap();
+            let report = server.serve(binary, &sessions, mode).unwrap();
             assert_eq!(report.metrics.requests, 8);
             for s in &report.sessions {
                 assert!(s.exit_codes.iter().all(|c| *c == 1), "{:?}", s.exit_codes);
@@ -462,21 +606,41 @@ mod tests {
     }
 
     #[test]
-    fn unknown_binary_is_an_error() {
+    fn unknown_binary_and_unpromoted_binary_are_distinct_errors() {
         let server = Server::default();
-        let err = server.serve("nope", &[], ExecMode::Pooled).unwrap_err();
-        assert!(matches!(err, ServeError::UnknownBinary { .. }));
+        let bogus = {
+            // Mint a real handle in a different registry: unknown here.
+            let other = Registry::default();
+            let opts = CompileOptions::for_config(Config::OurMpx);
+            other
+                .deploy_source("ldap", &ldap::annotated_source(), &opts, None)
+                .unwrap();
+            other.binary_id("ldap").unwrap()
+        };
+        let err = server.serve(bogus, &[], ExecMode::Pooled).unwrap_err();
+        assert!(matches!(err, ServeError::UnknownBinary { .. }), "{err}");
+
+        // Submitted but never promoted: a different, actionable error.
+        let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
+        let opts = CompileOptions::for_config(Config::OurMpx);
+        registry
+            .submit_source("ldap", &ldap::annotated_source(), &opts, None)
+            .unwrap();
+        let binary = registry.binary_id("ldap").unwrap();
+        let server = Server::new(registry, ServerConfig::new());
+        let err = server.serve(binary, &[], ExecMode::Pooled).unwrap_err();
+        assert!(matches!(err, ServeError::NoActiveVersion { .. }), "{err}");
     }
 
     #[test]
     fn duplicate_session_ids_are_refused() {
         // Instances are keyed by session id; two sessions sharing an id
         // would serve one client against the other's private state.
-        let server = ldap_server(Config::OurMpx, 32);
+        let (server, binary) = ldap_server(Config::OurMpx, 32);
         let mut sessions = ldap_sessions(2, 2, 32);
         sessions[1].id = sessions[0].id;
         let err = server
-            .serve("ldap", &sessions, ExecMode::Pooled)
+            .serve(binary, &sessions, ExecMode::Pooled)
             .unwrap_err();
         assert!(matches!(err, ServeError::DuplicateSession { .. }), "{err}");
     }
@@ -484,12 +648,12 @@ mod tests {
     #[test]
     fn worker_count_does_not_change_outcomes() {
         let sessions = ldap_sessions(5, 4, 32);
-        let mut single = ldap_server(Config::OurMpx, 32);
-        single.opts.workers = 1;
-        let mut many = ldap_server(Config::OurMpx, 32);
-        many.opts.workers = 8;
-        let a = single.serve("ldap", &sessions, ExecMode::Pooled).unwrap();
-        let b = many.serve("ldap", &sessions, ExecMode::Pooled).unwrap();
+        let (mut single, binary_a) = ldap_server(Config::OurMpx, 32);
+        single.config = ServerConfig::new().workers(1);
+        let (mut many, binary_b) = ldap_server(Config::OurMpx, 32);
+        many.config = ServerConfig::new().workers(8);
+        let a = single.serve(binary_a, &sessions, ExecMode::Pooled).unwrap();
+        let b = many.serve(binary_b, &sessions, ExecMode::Pooled).unwrap();
         for (x, y) in a.sessions.iter().zip(&b.sessions) {
             assert_eq!(x.id, y.id);
             assert_eq!(x.exit_codes, y.exit_codes);
@@ -497,5 +661,54 @@ mod tests {
             assert_eq!(x.log, y.log);
         }
         assert_eq!(a.metrics.total_cycles, b.metrics.total_cycles);
+    }
+
+    #[test]
+    fn promotion_between_serves_moves_new_sessions_to_the_new_version() {
+        let (server, binary) = ldap_server(Config::OurMpx, 32);
+        let v1 = server.registry.active_version(binary).unwrap();
+        let sessions = ldap_sessions(2, 3, 32);
+        let before = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+        assert_eq!(before.sessions_on(v1), 2);
+
+        // Roll the same source as v2 and cut over.
+        let opts = CompileOptions {
+            config: Config::OurMpx,
+            entry: ldap::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        let v2 = server
+            .registry
+            .submit_source(
+                "ldap",
+                &ldap::annotated_source(),
+                &opts,
+                Some(SetupSpec::new(ldap::SETUP_ENTRY, &[32])),
+            )
+            .unwrap();
+        server.registry.promote(v2).unwrap();
+        let after = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
+        assert_eq!(after.sessions_on(v2), 2);
+        assert_eq!(after.sessions_on(v1), 0);
+        // Same source, same streams: the swap is observably invisible.
+        assert_eq!(before.observable(), after.observable());
+        for (x, y) in before.sessions.iter().zip(&after.sessions) {
+            assert_eq!(x.exit_codes, y.exit_codes);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_serve_named_still_works() {
+        let (server, _) = ldap_server(Config::OurMpx, 32);
+        let sessions = ldap_sessions(1, 2, 32);
+        let report = server
+            .serve_named("ldap", &sessions, ExecMode::Pooled)
+            .unwrap();
+        assert_eq!(report.name, "ldap");
+        let err = server
+            .serve_named("nope", &sessions, ExecMode::Pooled)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownName { .. }), "{err}");
     }
 }

@@ -6,14 +6,23 @@
 //! private data.  The attacker-observable output (`sent`, `log`) produced by
 //! each session is collected per request, which is what the end-to-end
 //! observational-equivalence tests compare across runs.
+//!
+//! Sessions also pin the *version* they are served by: the runtime checks
+//! out the active version when the session starts and releases it when the
+//! session ends, so a blue/green promotion mid-run never swaps a binary out
+//! from under a live session.
 
 use confllvm_vm::World;
+
+use crate::handles::SessionId;
 
 /// One request: run `entry(args)` after optionally queueing `input` on the
 /// session world's network.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
+    /// Entry point to run.
     pub entry: String,
+    /// Its arguments.
     pub args: Vec<i64>,
     /// Bytes pushed onto `World::network_in` before the entry runs (the wire
     /// form of the request, e.g. `GET doc3\0`).
@@ -21,6 +30,7 @@ pub struct Request {
 }
 
 impl Request {
+    /// A request with no network payload.
     pub fn new(entry: &str, args: &[i64]) -> Self {
         Request {
             entry: entry.to_string(),
@@ -29,6 +39,7 @@ impl Request {
         }
     }
 
+    /// A request whose wire bytes are queued before the entry runs.
     pub fn with_input(entry: &str, args: &[i64], input: Vec<u8>) -> Self {
         Request {
             entry: entry.to_string(),
@@ -42,21 +53,62 @@ impl Request {
 /// stream to serve.
 #[derive(Debug, Clone)]
 pub struct SessionSpec {
-    pub id: usize,
+    /// Caller-chosen id, unique within one serve call.
+    pub id: SessionId,
     /// The session's world — private files, passwords, keys.  Queued network
     /// input should be left empty; the runtime pushes each request's `input`
     /// right before running it.
     pub world: World,
+    /// The request stream, served in order.
     pub requests: Vec<Request>,
 }
 
 impl SessionSpec {
-    pub fn new(id: usize, world: World, requests: Vec<Request>) -> Self {
+    /// A session serving `requests` against `world`.
+    pub fn new(id: impl Into<SessionId>, world: World, requests: Vec<Request>) -> Self {
         SessionSpec {
-            id,
+            id: id.into(),
             world,
             requests,
         }
+    }
+
+    /// Start building a session incrementally.
+    pub fn builder(id: impl Into<SessionId>) -> SessionSpecBuilder {
+        SessionSpecBuilder {
+            spec: SessionSpec::new(id, World::new(), Vec::new()),
+        }
+    }
+}
+
+/// Builder for [`SessionSpec`], for call sites that accumulate requests.
+#[derive(Debug, Clone)]
+pub struct SessionSpecBuilder {
+    spec: SessionSpec,
+}
+
+impl SessionSpecBuilder {
+    /// Install the session's private world.
+    pub fn world(mut self, world: World) -> Self {
+        self.spec.world = world;
+        self
+    }
+
+    /// Append one request to the stream.
+    pub fn request(mut self, request: Request) -> Self {
+        self.spec.requests.push(request);
+        self
+    }
+
+    /// Append many requests to the stream.
+    pub fn requests(mut self, requests: impl IntoIterator<Item = Request>) -> Self {
+        self.spec.requests.extend(requests);
+        self
+    }
+
+    /// Finish the session.
+    pub fn build(self) -> SessionSpec {
+        self.spec
     }
 }
 
@@ -72,5 +124,23 @@ mod tests {
         assert!(r.input.is_none());
         let r = Request::with_input("handle_request", &[1024], b"GET doc0\0".to_vec());
         assert_eq!(r.input.as_deref(), Some(&b"GET doc0\0"[..]));
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let mut w = World::new();
+        w.set_password("user", b"hunter2!hunter2!");
+        let direct = SessionSpec::new(
+            4usize,
+            w.clone(),
+            vec![Request::new("a", &[1]), Request::new("b", &[2])],
+        );
+        let built = SessionSpec::builder(SessionId::new(4))
+            .world(w)
+            .request(Request::new("a", &[1]))
+            .requests([Request::new("b", &[2])])
+            .build();
+        assert_eq!(direct.id, built.id);
+        assert_eq!(direct.requests, built.requests);
     }
 }

@@ -1,0 +1,211 @@
+//! The parallel driver and the content-hash cache must be *invisible*:
+//! byte-identical errors and counters versus the serial scan, cache hits
+//! only where content is provably unchanged, and — the security property —
+//! a tampered binary must be rejected even when the cache is warm from its
+//! untampered sibling.
+
+use confllvm_core::{compile, compile_for, CompileOptions, Config};
+use confllvm_machine::{Binary, BndReg, MInst};
+use confllvm_verify::{
+    binary_content_hash, verify, verify_fleet, verify_with, VerifyCache, VerifyOptions,
+};
+
+/// A service with several functions so the per-procedure queue has real work.
+fn service_source(salt: i64) -> String {
+    format!(
+        "
+        extern void read_passwd(char *u, private char *p, int n);
+        extern void encrypt(private char *src, char *dst, int n);
+        extern int send(int fd, char *buf, int n);
+
+        private int digest(private char *pw, int n) {{
+            int i;
+            int acc = {salt};
+            for (i = 0; i < n; i = i + 1) {{ acc = acc + pw[i] * 31; }}
+            return acc;
+        }}
+
+        int checksum(char *buf, int n) {{
+            int i;
+            int acc = 0;
+            for (i = 0; i < n; i = i + 1) {{ acc = acc + buf[i]; }}
+            return acc;
+        }}
+
+        int handle(int n) {{
+            char user[8];
+            user[0] = 'a'; user[1] = 0;
+            char pw[16];
+            read_passwd(user, pw, 16);
+            private int d = digest(pw, 16);
+            char out[16];
+            encrypt(pw, out, 16);
+            int c = checksum(out, 16);
+            send(1, out, 16);
+            return n + c;
+        }}
+
+        int main() {{ return handle(0); }}
+    "
+    )
+}
+
+fn built(source: &str, config: Config) -> Binary {
+    compile_for(source, config).expect("compiles").binary()
+}
+
+/// Strip the private-region bound checks, as a malicious build would.
+fn tampered(source: &str, config: Config) -> Binary {
+    let compiled = compile_for(source, config).unwrap();
+    let mut program = compiled.program.clone();
+    let mut dropped = 0;
+    for inst in &mut program.insts {
+        if matches!(
+            inst,
+            MInst::BndCheck {
+                bnd: BndReg::Bnd1,
+                ..
+            }
+        ) {
+            *inst = MInst::Nop;
+            dropped += 1;
+        }
+    }
+    assert!(dropped > 0, "build must contain private-region checks");
+    program.encode()
+}
+
+#[test]
+fn parallel_scan_is_byte_identical_to_serial() {
+    for config in [Config::OurMpx, Config::OurSeg] {
+        let good = built(&service_source(7), config);
+        let serial = verify(&good).expect("accepted");
+        for threads in [2, 4, 8] {
+            let par = verify_with(&good, &VerifyOptions::with_threads(threads), None)
+                .expect("accepted in parallel");
+            assert_eq!(serial.procedures, par.procedures);
+            assert_eq!(serial.instructions_checked, par.instructions_checked);
+            assert_eq!(serial.stores_checked, par.stores_checked);
+            assert_eq!(serial.calls_checked, par.calls_checked);
+            assert_eq!(serial.returns_checked, par.returns_checked);
+            assert_eq!(par.cached_procedures, 0);
+        }
+    }
+    // Same equivalence on the rejecting path: identical errors, same order.
+    let bad = tampered(&service_source(7), Config::OurMpx);
+    let serial_errs = verify(&bad).unwrap_err();
+    for threads in [2, 8] {
+        let par_errs = verify_with(&bad, &VerifyOptions::with_threads(threads), None).unwrap_err();
+        assert_eq!(
+            serial_errs, par_errs,
+            "{threads} threads changed the errors"
+        );
+    }
+}
+
+#[test]
+fn unchanged_binary_reverifies_through_the_binary_level_cache() {
+    let cache = VerifyCache::new();
+    let good = built(&service_source(7), Config::OurMpx);
+    let first = verify_with(&good, &VerifyOptions::serial(), Some(&cache)).expect("accepted");
+    assert_eq!(first.cached_procedures, 0);
+    let after_first = cache.stats();
+    assert!(after_first.entries > 0);
+
+    // Re-encode the same program: same content, new allocation.
+    let again = built(&service_source(7), Config::OurMpx);
+    assert_eq!(binary_content_hash(&good), binary_content_hash(&again));
+    let second = verify_with(&again, &VerifyOptions::serial(), Some(&cache)).expect("accepted");
+    assert_eq!(
+        second.cached_procedures, second.procedures,
+        "an unchanged binary must be a pure cache hit"
+    );
+    assert_eq!(second.procedures, first.procedures);
+    assert_eq!(second.stores_checked, first.stores_checked);
+    let after_second = cache.stats();
+    assert_eq!(
+        after_second.hits,
+        after_first.hits + 1,
+        "exactly one binary-level hit"
+    );
+}
+
+#[test]
+fn unchanged_procedures_hit_inside_a_changed_binary() {
+    let cache = VerifyCache::new();
+    let a = built(&service_source(7), Config::OurMpx);
+    let first = verify_with(&a, &VerifyOptions::serial(), Some(&cache)).expect("accepted");
+    assert!(first.procedures >= 4, "need several procedures");
+
+    // Change one constant inside `digest` — same instruction count, so the
+    // other procedures keep their exact word spans.
+    let b = built(&service_source(9), Config::OurMpx);
+    assert_ne!(binary_content_hash(&a), binary_content_hash(&b));
+    let second = verify_with(&b, &VerifyOptions::serial(), Some(&cache)).expect("accepted");
+    assert_eq!(second.procedures, first.procedures);
+    assert!(
+        second.cached_procedures >= first.procedures - 1,
+        "only the changed procedure may miss: {} of {} hit",
+        second.cached_procedures,
+        second.procedures
+    );
+    assert!(
+        second.cached_procedures < second.procedures,
+        "the changed procedure must re-verify"
+    );
+}
+
+#[test]
+fn tampered_binary_is_rejected_even_with_a_warm_cache() {
+    let cache = VerifyCache::new();
+    let source = service_source(7);
+    let good = built(&source, Config::OurMpx);
+    verify_with(&good, &VerifyOptions::serial(), Some(&cache)).expect("accepted");
+
+    let bad = tampered(&source, Config::OurMpx);
+    let errs = verify_with(&bad, &VerifyOptions::with_threads(4), Some(&cache))
+        .expect_err("stripped checks must still be rejected");
+    assert_eq!(errs, verify(&bad).unwrap_err(), "cache changed the verdict");
+
+    // And the rejection itself is cached: re-verifying the tampered binary
+    // is a binary-level hit with the same errors.
+    let before = cache.stats();
+    let errs2 = verify_with(&bad, &VerifyOptions::serial(), Some(&cache)).unwrap_err();
+    assert_eq!(errs, errs2);
+    assert_eq!(cache.stats().hits, before.hits + 1);
+}
+
+#[test]
+fn fleet_driver_matches_individual_verification_and_models_speedup() {
+    let mut binaries = Vec::new();
+    for salt in 0..6 {
+        binaries.push(built(&service_source(salt), Config::OurMpx));
+    }
+    for kernel in confllvm_workloads::spec::KERNELS.iter().take(3) {
+        let opts = CompileOptions {
+            config: Config::OurMpx,
+            entry: "run".to_string(),
+            ..Default::default()
+        };
+        binaries.push(compile(kernel.source, &opts).unwrap().binary());
+    }
+    let refs: Vec<&Binary> = binaries.iter().collect();
+    let serial = verify_fleet(&refs, &VerifyOptions::serial(), None);
+    assert_eq!(serial.threads, 1);
+    assert_eq!(serial.accepted(), refs.len());
+    assert_eq!(serial.makespan_micros, serial.total_task_micros);
+
+    let par = verify_fleet(&refs, &VerifyOptions::with_threads(4), None);
+    assert_eq!(par.accepted(), refs.len());
+    for (a, b) in serial.results.iter().zip(&par.results) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.procedures, b.procedures);
+        assert_eq!(a.instructions_checked, b.instructions_checked);
+    }
+    assert!(par.threads >= 2);
+    assert!(
+        par.modeled_speedup() > 1.5,
+        "9 similar tasks over 4 workers must schedule well: {:.2}x",
+        par.modeled_speedup()
+    );
+}

@@ -1,0 +1,260 @@
+//! Concurrent registration under live traffic.
+//!
+//! The fleet-scale scenario: several provider threads hammer the registry
+//! with valid upgrades, tampered binaries and byte-identical duplicates
+//! (cache hits) while a server keeps serving request streams against the
+//! active version.  The safety property is the hot-swap invariant — no
+//! session is ever served by a version that did not pass the
+//! verify-then-promote gate — and the liveness property is that the chaos is
+//! *observably* a no-op: the traffic served under concurrent registration is
+//! byte-identical to the same traffic served on a quiet serial run.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use confllvm_repro::core::{compile_for, CompileOptions, Config};
+use confllvm_repro::machine::{BndReg, MInst};
+use confllvm_repro::server::{
+    ExecMode, Registry, Request, Server, ServerConfig, SessionSpec, SetupSpec, VerifyPolicy,
+    VersionId, VersionState,
+};
+use confllvm_repro::vm::World;
+
+/// The served service: private digest, public banner + log line.  `salt`
+/// only feeds private arithmetic, so every variant is observably identical —
+/// submitting one is a realistic rolling upgrade.
+fn service_source(salt: i64) -> String {
+    format!(
+        "
+    extern void read_passwd(char *u, private char *p, int n);
+    extern int send(int fd, char *buf, int n);
+    extern int log_write(char *buf, int n);
+
+    char banner[8];
+
+    int setup() {{
+        banner[0] = 79; banner[1] = 75; banner[2] = 10;
+        return 1;
+    }}
+
+    private int digest(private char *pw, int n) {{
+        int i;
+        int acc = {salt};
+        for (i = 0; i < n; i = i + 1) {{ acc = acc + pw[i] * 31; }}
+        return acc;
+    }}
+
+    int handle_login(int attempt) {{
+        char user[8];
+        user[0] = 117; user[1] = 0;
+        char pw[32];
+        read_passwd(user, pw, 32);
+        private int d = digest(pw, 32);
+        send(1, banner, 3);
+        char line[4];
+        int digit = attempt % 10;
+        line[0] = 76;
+        line[1] = 48 + digit;
+        line[2] = 10;
+        log_write(line, 3);
+        return attempt;
+    }}
+
+    int main() {{ return handle_login(0); }}
+"
+    )
+}
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        config: Config::OurMpx,
+        entry: "setup".to_string(),
+        ..Default::default()
+    }
+}
+
+fn setup_spec() -> Option<SetupSpec> {
+    Some(SetupSpec::new("setup", &[]))
+}
+
+/// Strip the private-region bound checks out of a compiled service — the
+/// tampered binary ConfVerify must reject.
+fn tampered_program(salt: i64) -> confllvm_repro::machine::Program {
+    let compiled = compile_for(&service_source(salt), Config::OurMpx).unwrap();
+    let mut program = compiled.program.clone();
+    let mut dropped = 0;
+    for inst in &mut program.insts {
+        if matches!(
+            inst,
+            MInst::BndCheck {
+                bnd: BndReg::Bnd1,
+                ..
+            }
+        ) {
+            *inst = MInst::Nop;
+            dropped += 1;
+        }
+    }
+    assert!(dropped > 0, "the tampering must remove something");
+    program
+}
+
+fn sessions(n: usize) -> Vec<SessionSpec> {
+    (0..n)
+        .map(|id| {
+            let mut w = World::new();
+            w.set_password("u", format!("concurrent-secret-{id}").as_bytes());
+            let requests = (0..5i64)
+                .map(|i| Request::new("handle_login", &[i]))
+                .collect();
+            SessionSpec::new(id, w, requests)
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_registrations_never_leak_into_live_traffic() {
+    const SUBMITTERS: usize = 6;
+    const ROUNDS: usize = 3;
+    const SERVES: usize = 4;
+
+    let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified).with_verify_threads(2));
+    let v1 = registry
+        .deploy_source("svc", &service_source(1), &opts(), setup_spec())
+        .expect("v1 deploys");
+    let binary = registry.binary_id("svc").unwrap();
+    let server = Server::new(Arc::clone(&registry), ServerConfig::new().workers(3));
+
+    // The quiet baseline: the same streams served with nothing else going on.
+    let baseline = server
+        .serve(binary, &sessions(4), ExecMode::Pooled)
+        .unwrap();
+
+    // Phase 1: submitter threads push valid upgrades, tampered binaries and
+    // byte-identical duplicates while the server serves the same streams.
+    let (reports, submitted) = std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for t in 0..SUBMITTERS {
+            let registry = Arc::clone(&registry);
+            workers.push(scope.spawn(move || {
+                let mut accepted: Vec<VersionId> = Vec::new();
+                let mut rejected: Vec<VersionId> = Vec::new();
+                for round in 0..ROUNDS {
+                    match t % 3 {
+                        // A valid upgrade: new private salt, same observables.
+                        0 => {
+                            let salt = 100 + (t * ROUNDS + round) as i64;
+                            let v = registry
+                                .submit_source("svc", &service_source(salt), &opts(), setup_spec())
+                                .expect("valid upgrades verify");
+                            accepted.push(v);
+                        }
+                        // A tampered binary: must be rejected, every time.
+                        1 => {
+                            let err = registry
+                                .submit_program(
+                                    "svc",
+                                    tampered_program(1),
+                                    Config::OurMpx,
+                                    setup_spec(),
+                                )
+                                .expect_err("tampered binaries never pass the gate");
+                            rejected.push(err.version().expect("rejection mints a version"));
+                        }
+                        // A byte-identical duplicate of v1: verifies through
+                        // the content-hash cache.
+                        _ => {
+                            let compiled = compile_for(&service_source(1), Config::OurMpx).unwrap();
+                            let v = registry
+                                .submit_program(
+                                    "svc",
+                                    compiled.program.clone(),
+                                    Config::OurMpx,
+                                    setup_spec(),
+                                )
+                                .expect("duplicates of a good binary verify");
+                            accepted.push(v);
+                        }
+                    }
+                }
+                (accepted, rejected)
+            }));
+        }
+        let mut reports = Vec::new();
+        for _ in 0..SERVES {
+            reports.push(
+                server
+                    .serve(binary, &sessions(4), ExecMode::Pooled)
+                    .unwrap(),
+            );
+        }
+        let submitted: Vec<_> = workers
+            .into_iter()
+            .map(|w| w.join().expect("submitter panicked"))
+            .collect();
+        (reports, submitted)
+    });
+
+    // Nothing was promoted during the storm, so every session everywhere ran
+    // on v1 — warm, rejected and duplicate versions are all invisible.
+    for report in &reports {
+        for s in &report.sessions {
+            assert_eq!(s.version, v1, "a non-promoted version served traffic");
+        }
+        // ...and the traffic is byte-identical to the quiet serial run.
+        assert_eq!(
+            report.observable(),
+            baseline.observable(),
+            "concurrent registration changed the observable trace"
+        );
+    }
+
+    // Every submission landed in the state machine where it belongs.
+    let mut all_versions = HashSet::new();
+    for (accepted, rejected) in &submitted {
+        for &v in accepted {
+            assert_eq!(registry.version_state(v), Some(VersionState::Warm));
+            assert!(all_versions.insert(v), "version handles must be unique");
+        }
+        for &v in rejected {
+            assert_eq!(registry.version_state(v), Some(VersionState::Rejected));
+            assert!(all_versions.insert(v), "version handles must be unique");
+        }
+    }
+
+    // The duplicate submissions re-verified through the content-hash cache.
+    let stats = registry.cache_stats();
+    assert!(
+        stats.hits > 0,
+        "byte-identical re-registrations must hit the cache, stats {stats:?}"
+    );
+
+    // Phase 2: promote one of the warm upgrades; new sessions cut over, the
+    // observable trace still does not move (the upgrade only changed private
+    // state), and a rejected version can never be promoted.
+    let warm = submitted
+        .iter()
+        .flat_map(|(accepted, _)| accepted.iter().copied())
+        .next()
+        .expect("at least one warm upgrade");
+    registry.promote(warm).expect("warm versions promote");
+    let after = server
+        .serve(binary, &sessions(4), ExecMode::Pooled)
+        .unwrap();
+    for s in &after.sessions {
+        assert_eq!(
+            s.version, warm,
+            "post-promotion sessions pin the new version"
+        );
+    }
+    assert_eq!(after.observable(), baseline.observable());
+    let rejected = submitted
+        .iter()
+        .flat_map(|(_, rejected)| rejected.iter().copied())
+        .next()
+        .expect("at least one rejection");
+    assert!(
+        registry.promote(rejected).is_err(),
+        "rejected versions must never become promotable"
+    );
+}

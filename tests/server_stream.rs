@@ -6,8 +6,10 @@
 
 use confllvm_repro::core::{compile_for, CompileOptions, Config};
 use confllvm_repro::machine::{BndReg, MInst};
+use std::sync::Arc;
+
 use confllvm_repro::server::{
-    BinaryRegistry, ExecMode, RegisterError, Request, RequestGen, Server, ServerOptions,
+    BinaryId, ExecMode, RegisterError, Registry, Request, RequestGen, Server, ServerConfig,
     SessionSpec, SetupSpec, StreamKind, VerifyPolicy,
 };
 use confllvm_repro::vm::World;
@@ -59,22 +61,23 @@ const AUTH_SERVICE: &str = "
     int main() { return handle_login(0); }
 ";
 
-fn auth_server(config: Config) -> Server {
-    let mut registry = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+fn auth_server(config: Config) -> (Server, BinaryId) {
+    let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
     let opts = CompileOptions {
         config,
         entry: "setup".to_string(),
         ..Default::default()
     };
     registry
-        .register_source(
+        .deploy_source(
             "auth",
             AUTH_SERVICE,
             &opts,
             Some(SetupSpec::new("setup", &[])),
         )
         .expect("the auth service must be verifier-accepted");
-    Server::new(registry, ServerOptions::default())
+    let binary = registry.binary_id("auth").unwrap();
+    (Server::new(registry, ServerConfig::default()), binary)
 }
 
 /// The identical request stream every session serves.
@@ -96,14 +99,14 @@ fn auth_sessions(n: usize, secret_tag: &str) -> Vec<SessionSpec> {
 #[test]
 fn identical_streams_with_different_secrets_are_observably_identical() {
     for config in [Config::OurMpx, Config::OurSeg] {
-        let server = auth_server(config);
+        let (server, auth) = auth_server(config);
         // Two full multi-session runs over the *same* request stream with
         // *different* private state in every session.
         let run_a = server
-            .serve("auth", &auth_sessions(4, "alpha"), ExecMode::Pooled)
+            .serve(auth, &auth_sessions(4, "alpha"), ExecMode::Pooled)
             .unwrap();
         let run_b = server
-            .serve("auth", &auth_sessions(4, "omega"), ExecMode::Pooled)
+            .serve(auth, &auth_sessions(4, "omega"), ExecMode::Pooled)
             .unwrap();
         assert_eq!(run_a.sessions.len(), 4);
         for (a, b) in run_a.sessions.iter().zip(&run_b.sessions) {
@@ -132,10 +135,10 @@ fn identical_streams_with_different_secrets_are_observably_identical() {
 
 #[test]
 fn cold_and_pooled_modes_are_observably_identical() {
-    let server = auth_server(Config::OurMpx);
+    let (server, auth) = auth_server(Config::OurMpx);
     let sessions = auth_sessions(3, "mode");
-    let cold = server.serve("auth", &sessions, ExecMode::Cold).unwrap();
-    let pooled = server.serve("auth", &sessions, ExecMode::Pooled).unwrap();
+    let cold = server.serve(auth, &sessions, ExecMode::Cold).unwrap();
+    let pooled = server.serve(auth, &sessions, ExecMode::Pooled).unwrap();
     assert_eq!(cold.observable(), pooled.observable());
     for (c, p) in cold.sessions.iter().zip(&pooled.sessions) {
         assert_eq!(c.exit_codes, p.exit_codes);
@@ -155,29 +158,30 @@ fn nginx_streams_never_leak_raw_file_bytes_and_lengths_match() {
     // structure of the observable trace must not, and the raw secret bytes
     // must never appear.
     let make_server = || {
-        let mut registry = BinaryRegistry::new(VerifyPolicy::RequireVerified);
+        let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
         let opts = CompileOptions {
             config: Config::OurMpx,
             entry: nginx::SETUP_ENTRY.to_string(),
             ..Default::default()
         };
         registry
-            .register_source(
+            .deploy_source(
                 "nginx",
                 nginx::SOURCE,
                 &opts,
                 Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
             )
             .unwrap();
-        Server::new(registry, ServerOptions::default())
+        let binary = registry.binary_id("nginx").unwrap();
+        (Server::new(registry, ServerConfig::default()), binary)
     };
     let sessions_with = |fill: u8| -> Vec<SessionSpec> {
-        (0..3)
+        (0..3u64)
             .map(|id| {
                 let mut w = World::new();
                 w.add_secret_file("doc0", &[fill; 1024]);
                 w.add_secret_file("doc1", &[fill ^ 0x5f; 1024]);
-                let reqs = RequestGen::new(7 + id as u64).stream(
+                let reqs = RequestGen::new(7 + id).stream(
                     StreamKind::NginxFiles {
                         files: 2,
                         response_size: 1024,
@@ -188,12 +192,12 @@ fn nginx_streams_never_leak_raw_file_bytes_and_lengths_match() {
             })
             .collect()
     };
-    let server = make_server();
+    let (server, nginx_binary) = make_server();
     let run_a = server
-        .serve("nginx", &sessions_with(0x11), ExecMode::Pooled)
+        .serve(nginx_binary, &sessions_with(0x11), ExecMode::Pooled)
         .unwrap();
     let run_b = server
-        .serve("nginx", &sessions_with(0x77), ExecMode::Pooled)
+        .serve(nginx_binary, &sessions_with(0x77), ExecMode::Pooled)
         .unwrap();
     for (a, b) in run_a.sessions.iter().zip(&run_b.sessions) {
         assert_eq!(a.sent.len(), b.sent.len(), "response sizes leaked secrets");
@@ -225,13 +229,21 @@ fn broken_binary_is_rejected_at_load_time_and_never_serves() {
         }
     }
     assert!(dropped > 0);
-    let mut registry = BinaryRegistry::new(VerifyPolicy::RequireVerified);
-    match registry.register_program("auth", program, Config::OurMpx, None) {
-        Err(RegisterError::Verify { errors, .. }) => assert!(!errors.is_empty()),
+    let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
+    let binary = match registry.submit_program("auth", program, Config::OurMpx, None) {
+        Err(RegisterError::Verify {
+            errors, version, ..
+        }) => {
+            assert!(!errors.is_empty());
+            // The rejected version exists but can never be promoted, so the
+            // binary has no active version and serving fails.
+            assert!(registry.promote(version).is_err());
+            registry.binary_id("auth").unwrap()
+        }
         other => panic!("expected load-time rejection, got {other:?}"),
-    }
-    let server = Server::new(registry, ServerOptions::default());
+    };
+    let server = Server::new(registry, ServerConfig::default());
     assert!(server
-        .serve("auth", &auth_sessions(1, "x"), ExecMode::Pooled)
+        .serve(binary, &auth_sessions(1, "x"), ExecMode::Pooled)
         .is_err());
 }
