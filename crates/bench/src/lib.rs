@@ -516,7 +516,12 @@ pub fn server_throughput_rows(quick: bool) -> Vec<ServerThroughputRow> {
 /// comparison (verify-then-load registry, per-session warm instances with
 /// snapshot/reset, multi-session request streams).
 pub fn server_throughput_table(quick: bool) -> String {
-    let rows = server_throughput_rows(quick);
+    server_throughput_table_for(&server_throughput_rows(quick))
+}
+
+/// Render the table for rows the caller already computed (so one run can
+/// feed both the table and the JSON emission).
+pub fn server_throughput_table_for(rows: &[ServerThroughputRow]) -> String {
     let mut out = String::new();
     out.push_str(
         "== Serving layer — verify-then-load + VM pooling (cold = load+setup per request, pooled = snapshot/reset)\n",
@@ -535,7 +540,7 @@ pub fn server_throughput_table(quick: bool) -> String {
         "T-cross%",
         "pages/req",
     ));
-    for r in &rows {
+    for r in rows {
         out.push_str(&format!(
             "{:<8}{:<12}{:>9}{:>14}{:>14}{:>8.1}x{:>12.1}{:>12}{:>11}{:>9.1}%{:>10.1}\n",
             r.workload,
@@ -560,6 +565,83 @@ pub fn server_throughput_table(quick: bool) -> String {
         rows.len()
     ));
     out
+}
+
+/// Serialise the serving rows as the flat scalar JSON the golden diff
+/// understands (same format and tolerance classes as `verify_scale_json`:
+/// `*_micros` keys are machine-dependent host timings, everything else —
+/// simulated cycles, request counts, check counts — is deterministic and
+/// exact-diffed).
+pub fn server_throughput_json(rows: &[ServerThroughputRow], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    let mut field = |key: String, value: String, last: bool| {
+        s.push_str(&format!("  \"{key}\": {value}"));
+        s.push_str(if last { "\n" } else { ",\n" });
+    };
+    field("section".into(), "\"server_throughput\"".into(), false);
+    field("quick".into(), quick.to_string(), false);
+    field("rows".into(), rows.len().to_string(), false);
+    for (i, r) in rows.iter().enumerate() {
+        let k = format!("{}.{}", r.workload, r.config.name());
+        let last_row = i + 1 == rows.len();
+        field(format!("{k}.verified"), r.verified.to_string(), false);
+        field(format!("{k}.requests"), r.requests.to_string(), false);
+        field(
+            format!("{k}.cold_cycles_per_req"),
+            r.cold_cycles_per_req.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.pooled_cycles_per_req"),
+            r.pooled_cycles_per_req.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.pooled_p99_cycles"),
+            r.pooled_p99.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.checks_per_req"),
+            r.checks_per_req.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.dirty_pages_per_req"),
+            format!("{:.3}", r.dirty_pages_per_req),
+            false,
+        );
+        field(
+            format!("{k}.cold_host_micros"),
+            r.cold_host_micros.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.pooled_host_micros"),
+            r.pooled_host_micros.to_string(),
+            last_row,
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Write the serving benchmark JSON atomically (temp file + rename), like
+/// [`write_verify_scale_json`].
+pub fn write_server_throughput_json(
+    rows: &[ServerThroughputRow],
+    quick: bool,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let json = server_throughput_json(rows, quick);
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
 }
 
 /// Section 7.6: the vulnerability-injection summary.

@@ -3,13 +3,20 @@
 //! Usage:
 //! ```text
 //! repro [--section <name>[,<name>...]]... [--quick] [--usage]
+//!       [--trace <out.json>] [--metrics-json <out.json>]
 //! repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting]
+//! repro --check-trace <trace.json>
 //! ```
 //! With no section selection, everything is reproduced.  `--quick` shrinks
 //! the workload parameters (useful in CI); the numbers remain comparable in
 //! shape.  `--section <name>` runs one or more evaluation sections
 //! (repeatable, comma-separated lists accepted, e.g. `--section nginx,ldap`);
 //! the legacy `--figN`-style flags remain as aliases.
+//!
+//! `--trace` and `--metrics-json` enable the observability recorder for
+//! whatever runs — they compose with any `--section` selection — and write
+//! a Chrome `trace_event` JSON (load it at `ui.perfetto.dev`) and an
+//! aggregated metrics JSON after the sections finish.
 
 use confllvm_bench::*;
 
@@ -63,7 +70,7 @@ const SECTIONS: [(&str, &str, &[&str], &str); 10] = [
         "server_throughput",
         "--server-throughput",
         &["server"],
-        "serving layer: verify-then-load, VM pooling, cold vs pooled request streams",
+        "serving layer: verify-then-load, VM pooling, cold vs pooled request streams (emits BENCH_server_throughput.json)",
     ),
     (
         "verify_scale",
@@ -76,8 +83,10 @@ const SECTIONS: [(&str, &str, &[&str], &str); 10] = [
 fn usage() -> String {
     let mut out = String::new();
     out.push_str("usage: repro [--section <name>[,<name>...]]... [--quick] [--usage]\n");
+    out.push_str("             [--trace <out.json>] [--metrics-json <out.json>]\n");
     out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes] [--server-throughput] [--verify-scale]\n");
-    out.push_str("       repro --diff-bench <actual.json> <golden.json>\n\n");
+    out.push_str("       repro --diff-bench <actual.json> <golden.json>\n");
+    out.push_str("       repro --check-trace <trace.json>\n\n");
     out.push_str("sections:\n");
     for (name, _, aliases, desc) in SECTIONS {
         let label = if aliases.is_empty() {
@@ -87,6 +96,14 @@ fn usage() -> String {
         };
         out.push_str(&format!("  {label:<28}{desc}\n"));
     }
+    out.push_str(
+        "\nobservability (composes with any --section selection):\n  \
+         --trace <out.json>          record spans while the selected sections run and\n  \
+                                     write a Chrome trace_event file (open in Perfetto)\n  \
+         --metrics-json <out.json>   write aggregated counters/histograms/span totals\n  \
+         --check-trace <trace.json>  validate a trace file: well-formed Chrome JSON with\n  \
+                                     spans from all of compiler, verifier, vm and server\n",
+    );
     out
 }
 
@@ -158,6 +175,42 @@ fn diff_bench(actual_path: &str, golden_path: &str) -> ! {
     }
 }
 
+/// Standalone trace validation: well-formed Chrome `trace_event` JSON that
+/// contains spans from every instrumented layer.  Exit 0 on pass, 1 on a
+/// malformed or incomplete trace, 2 on I/O trouble.
+fn check_trace(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(2);
+        }
+    };
+    match confllvm_obs::validate_chrome_trace(&text) {
+        Ok(check) => {
+            let missing = check.missing_categories(&confllvm_obs::LAYERS);
+            if missing.is_empty() {
+                println!(
+                    "trace OK: `{path}` has {} events covering all layers ({})",
+                    check.events,
+                    confllvm_obs::LAYERS.join(", ")
+                );
+                std::process::exit(0);
+            }
+            eprintln!(
+                "trace INCOMPLETE: `{path}` has {} events but no spans from: {}",
+                check.events,
+                missing.join(", ")
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("trace INVALID: `{path}`: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--diff-bench") {
@@ -168,9 +221,19 @@ fn main() {
         };
         diff_bench(actual, golden);
     }
+    if args.first().map(String::as_str) == Some("--check-trace") {
+        let Some(path) = args.get(1) else {
+            eprintln!("error: --check-trace needs <trace.json>");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        };
+        check_trace(path);
+    }
     let mut selected: Vec<&'static str> = Vec::new();
     let mut unknown: Vec<String> = Vec::new();
     let mut quick = false;
+    let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
@@ -188,6 +251,20 @@ fn main() {
                     std::process::exit(2);
                 };
                 resolve_sections(list, &mut selected, &mut unknown);
+            }
+            "--trace" | "--metrics-json" => {
+                let flag = a;
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("error: {flag} needs an output path");
+                    eprint!("{}", usage());
+                    std::process::exit(2);
+                };
+                if flag == "--trace" {
+                    trace_path = Some(path.clone());
+                } else {
+                    metrics_path = Some(path.clone());
+                }
             }
             flag => match SECTIONS.iter().find(|(_, f, _, _)| *f == flag) {
                 Some((n, _, _, _)) => selected.push(n),
@@ -213,6 +290,13 @@ fn main() {
     }
     let all = selected.is_empty();
     let want = |name: &str| all || selected.contains(&name);
+
+    // Observability: recording is off unless an export was asked for, so a
+    // plain run never pays for tracing.
+    let recording = trace_path.is_some() || metrics_path.is_some();
+    if recording {
+        confllvm_obs::recorder().set_enabled(true);
+    }
 
     let spec_scale = if quick { 8 } else { 1 };
     let nginx_requests = if quick { 2 } else { 4 };
@@ -255,7 +339,16 @@ fn main() {
         println!("{}", ablation_passes_table(spec_scale));
     }
     if want("server_throughput") {
-        println!("{}", server_throughput_table(quick));
+        let rows = server_throughput_rows(quick);
+        println!("{}", server_throughput_table_for(&rows));
+        let path = std::path::Path::new("BENCH_server_throughput.json");
+        match write_server_throughput_json(&rows, quick, path) {
+            Ok(()) => println!("   wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     if want("verify_scale") {
         let report = verify_scale_report(quick);
@@ -267,6 +360,26 @@ fn main() {
                 eprintln!("error: writing {}: {e}", path.display());
                 std::process::exit(1);
             }
+        }
+    }
+
+    if recording {
+        let rec = confllvm_obs::recorder();
+        rec.set_enabled(false);
+        let snap = rec.snapshot();
+        print!("{}", confllvm_obs::summary_table(&snap));
+        let write = |path: &str, contents: String| {
+            if let Err(e) = std::fs::write(path, contents) {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("   wrote {path}");
+        };
+        if let Some(path) = &trace_path {
+            write(path, confllvm_obs::chrome_trace_json(&snap));
+        }
+        if let Some(path) = &metrics_path {
+            write(path, confllvm_obs::metrics_json(&snap));
         }
     }
 }

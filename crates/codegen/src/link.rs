@@ -60,6 +60,10 @@ pub fn compile_module_with_entry(
         });
     }
 
+    // Module-level compile span (closes when this function returns, so it
+    // parents the per-pass spans the pipeline records on this thread).
+    let mut obs_span = confllvm_obs::recorder().span("compiler", "codegen.module");
+
     // 1. Compile every function and run the machine pass pipeline over it.
     let pipeline = crate::mpass::MachinePipeline::parse(&opts.passes)?;
     let mut pass_report = crate::mpass::MPipelineReport::default();
@@ -270,6 +274,13 @@ pub fn compile_module_with_entry(
             .count(),
         prefix_attempts: attempts,
     };
+    if obs_span.active() {
+        obs_span.attr("functions", report.functions);
+        obs_span.attr("instructions", report.instructions);
+        obs_span.attr("bound_checks", report.bound_checks);
+        obs_span.attr("checks_eliminated", report.checks_eliminated);
+        obs_span.attr("checks_hoisted", report.checks_hoisted);
+    }
 
     let program = Program {
         name: module.name.clone(),

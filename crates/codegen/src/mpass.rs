@@ -239,10 +239,28 @@ impl MachinePipeline {
     }
 
     /// Run the pipeline over one compiled function.
+    ///
+    /// With the process-wide [`confllvm_obs::recorder`] enabled, each pass
+    /// records a `compiler`-layer span carrying its change count, the
+    /// instruction-stream size (instructions touched) and how many check
+    /// sites the pass deleted.  The spans only read the function, so traced
+    /// and untraced pipelines produce identical code.
     pub fn run(&self, mf: &mut CompiledFunction, cx: &mut MachineCtx) -> MPipelineReport {
+        let rec = confllvm_obs::recorder();
         let mut report = MPipelineReport::default();
         for p in &self.passes {
+            let checks_before = mf.check_sites.len();
+            let mut span = rec.span("compiler", p.name());
             let changes = p.run(mf, cx);
+            if span.active() {
+                span.attr("layer", "machine");
+                span.attr("changes", changes);
+                span.attr("insts", mf.insts.len());
+                span.attr(
+                    "checks_deleted",
+                    checks_before.saturating_sub(mf.check_sites.len()),
+                );
+            }
             report.per_pass.push((p.name(), changes));
         }
         report

@@ -164,7 +164,14 @@ impl PassManager {
 
     /// Run the pipeline over every function until a fixpoint (bounded by a
     /// small round count; each pass is individually monotone).
+    ///
+    /// When the process-wide [`confllvm_obs::recorder`] is enabled, every
+    /// pass application records a `compiler`-layer span named after the
+    /// pass, carrying the change count and the function's instruction count
+    /// (instructions touched).  The instrumentation only *reads* the
+    /// function, so traced and untraced runs transform identically.
     pub fn run(&self, module: &mut Module) -> PipelineReport {
+        let rec = confllvm_obs::recorder();
         let mut report = PipelineReport {
             per_pass: self
                 .passes
@@ -179,7 +186,13 @@ impl PassManager {
             for _ in 0..4 {
                 let mut round = 0usize;
                 for (i, p) in self.passes.iter().enumerate() {
+                    let mut span = rec.span("compiler", p.name());
                     let changes = p.run_on_function(f);
+                    if span.active() {
+                        span.attr("layer", "ir");
+                        span.attr("changes", changes);
+                        span.attr("insts", f.inst_count());
+                    }
                     report.per_pass[i].changes += changes;
                     round += changes;
                 }

@@ -1,0 +1,360 @@
+//! Exporters: Chrome `trace_event` JSON (Perfetto-loadable), a metrics JSON
+//! document, and a human-readable summary table — plus the validator CI
+//! runs over an emitted trace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::attr::write_json_string;
+use crate::json::{parse_json, Json};
+use crate::recorder::{EventKind, TraceSnapshot};
+
+/// Render a snapshot as Chrome `trace_event` JSON (the "JSON Object Format"
+/// with a `traceEvents` array).  Load it in Perfetto
+/// (<https://ui.perfetto.dev>) or `chrome://tracing`: spans are `ph:"X"`
+/// complete events with microsecond timestamps; lifecycle markers are
+/// `ph:"i"` instants; attributes (and attributed simulated cycles) appear
+/// under `args`.
+pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::with_capacity(snap.event_count() * 128 + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    for thread in &snap.threads {
+        for e in &thread.events {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            match e.kind {
+                EventKind::Complete => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+                        thread.tid,
+                        e.start_nanos as f64 / 1_000.0,
+                        e.dur_nanos as f64 / 1_000.0,
+                    );
+                }
+                EventKind::Instant => {
+                    let _ = write!(
+                        out,
+                        "{{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{:.3}",
+                        thread.tid,
+                        e.start_nanos as f64 / 1_000.0,
+                    );
+                }
+            }
+            out.push_str(",\"cat\":");
+            write_json_string(e.cat, &mut out);
+            out.push_str(",\"name\":");
+            write_json_string(e.name, &mut out);
+            out.push_str(",\"args\":{");
+            let mut first_arg = true;
+            if e.cycles > 0 {
+                let _ = write!(out, "\"cycles\":{}", e.cycles);
+                first_arg = false;
+            }
+            for (key, value) in &e.attrs {
+                if !first_arg {
+                    out.push(',');
+                }
+                first_arg = false;
+                write_json_string(key, &mut out);
+                out.push(':');
+                value.write_json(&mut out);
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Render the snapshot's counters, histograms and per-span aggregates as a
+/// standalone metrics JSON document.
+pub fn metrics_json(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"dropped_events\": {},", snap.dropped());
+    out.push_str("  \"counters\": {");
+    let mut first = true;
+    for (name, value) in &snap.counters {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_json_string(name, &mut out);
+        let _ = write!(out, ": {value}");
+    }
+    out.push_str("\n  },\n");
+    out.push_str("  \"histograms\": {");
+    first = true;
+    for (name, h) in &snap.histograms {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_json_string(name, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {:.3}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+            h.count(),
+            h.sum(),
+            h.min(),
+            h.max(),
+            h.mean(),
+            h.percentile(50),
+            h.percentile(90),
+            h.percentile(99),
+        );
+    }
+    out.push_str("\n  },\n");
+    out.push_str("  \"spans\": {");
+    first = true;
+    for (key, agg) in span_aggregates(snap) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n    ");
+        write_json_string(&key, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"host_nanos\": {}, \"cycles\": {}}}",
+            agg.count, agg.host_nanos, agg.cycles
+        );
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+#[derive(Default, Clone, Copy)]
+struct SpanAgg {
+    count: u64,
+    host_nanos: u64,
+    cycles: u64,
+}
+
+/// Aggregate events by `cat/name`, in sorted key order.
+fn span_aggregates(snap: &TraceSnapshot) -> Vec<(String, SpanAgg)> {
+    let mut map: BTreeMap<String, SpanAgg> = BTreeMap::new();
+    for e in snap.events() {
+        let agg = map.entry(format!("{}/{}", e.cat, e.name)).or_default();
+        agg.count += 1;
+        agg.host_nanos += e.dur_nanos;
+        agg.cycles += e.cycles;
+    }
+    map.into_iter().collect()
+}
+
+/// Render the snapshot as a human-readable summary: per-span totals (count,
+/// host time, attributed simulated cycles), then counters, then histogram
+/// percentiles.
+pub fn summary_table(snap: &TraceSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str("== Observability summary\n");
+    let _ = writeln!(
+        out,
+        "{:<40}{:>8}{:>12}{:>16}",
+        "span (layer/name)", "count", "host ms", "sim cycles"
+    );
+    for (key, agg) in span_aggregates(snap) {
+        let _ = writeln!(
+            out,
+            "{:<40}{:>8}{:>12.3}{:>16}",
+            key,
+            agg.count,
+            agg.host_nanos as f64 / 1e6,
+            agg.cycles
+        );
+    }
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "  {name:<40}{value:>12}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let _ = writeln!(
+            out,
+            "  {:<40}{:>8}{:>12}{:>10}{:>10}{:>10}",
+            "", "count", "mean", "p50", "p99", "max"
+        );
+        for (name, h) in &snap.histograms {
+            let _ = writeln!(
+                out,
+                "  {:<40}{:>8}{:>12.1}{:>10}{:>10}{:>10}",
+                name,
+                h.count(),
+                h.mean(),
+                h.percentile(50),
+                h.percentile(99),
+                h.max()
+            );
+        }
+    }
+    if snap.dropped() > 0 {
+        let _ = writeln!(
+            out,
+            "({} events dropped to ring wrap-around)",
+            snap.dropped()
+        );
+    }
+    out
+}
+
+/// What [`validate_chrome_trace`] found in a well-formed trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCheck {
+    /// Total trace events.
+    pub events: usize,
+    /// Events per category (the instrumented layers).
+    pub categories: BTreeMap<String, usize>,
+}
+
+impl TraceCheck {
+    /// The categories (layers) with no events, out of `required`.
+    pub fn missing_categories(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|c| !self.categories.contains_key(**c))
+            .map(|c| c.to_string())
+            .collect()
+    }
+}
+
+/// Validate a Chrome `trace_event` JSON document: it must parse, carry a
+/// `traceEvents` array, and every event must be a well-formed `X` or `i`
+/// record with name, category and timestamps.  Returns per-category event
+/// counts so callers can assert which layers are represented.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
+    let doc = parse_json(text)?;
+    let events = doc
+        .get("traceEvents")
+        .ok_or("missing `traceEvents` key".to_string())?
+        .as_arr()
+        .ok_or("`traceEvents` is not an array".to_string())?;
+    let mut check = TraceCheck::default();
+    for (i, e) in events.iter().enumerate() {
+        let fail = |msg: &str| format!("traceEvents[{i}]: {msg}");
+        let ph = e
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing `ph`"))?;
+        if ph != "X" && ph != "i" {
+            return Err(fail(&format!("unexpected phase `{ph}`")));
+        }
+        let cat = e
+            .get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing `cat`"))?;
+        e.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing `name`"))?;
+        let ts = e
+            .get("ts")
+            .and_then(Json::as_num)
+            .ok_or_else(|| fail("missing `ts`"))?;
+        if ts < 0.0 {
+            return Err(fail("negative `ts`"));
+        }
+        if ph == "X" {
+            let dur = e
+                .get("dur")
+                .and_then(Json::as_num)
+                .ok_or_else(|| fail("`X` event without `dur`"))?;
+            if dur < 0.0 {
+                return Err(fail("negative `dur`"));
+            }
+        }
+        check.events += 1;
+        *check.categories.entry(cat.to_string()).or_insert(0) += 1;
+    }
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_snapshot() -> TraceSnapshot {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let mut s = rec.span("compiler", "pass.const-fold");
+            s.attr("changes", 3u64);
+        }
+        {
+            let mut s = rec.span("vm", "vm.run");
+            s.cycles(1234);
+        }
+        {
+            let mut i = rec.instant("server", "registry.transition");
+            i.attr("state", "active");
+            i.attr("version", 7u64);
+        }
+        rec.count("verify.cache.proc_hits", 9);
+        rec.record_hist("server.request.cycles", 500);
+        rec.snapshot()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_and_carries_categories() {
+        let trace = chrome_trace_json(&sample_snapshot());
+        let check = validate_chrome_trace(&trace).unwrap();
+        assert_eq!(check.events, 3);
+        assert_eq!(check.categories["compiler"], 1);
+        assert_eq!(check.categories["vm"], 1);
+        assert_eq!(check.categories["server"], 1);
+        assert!(check.missing_categories(&["verifier"]) == vec!["verifier"]);
+        // The instant kept its phase and the span its duration field.
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"cycles\":1234"));
+        assert!(trace.contains("\"state\":\"active\""));
+    }
+
+    #[test]
+    fn metrics_json_parses_and_reports_counters() {
+        let metrics = metrics_json(&sample_snapshot());
+        let doc = parse_json(&metrics).unwrap();
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("verify.cache.proc_hits")
+                .unwrap()
+                .as_num(),
+            Some(9.0)
+        );
+        let hist = doc
+            .get("histograms")
+            .unwrap()
+            .get("server.request.cycles")
+            .unwrap();
+        assert_eq!(hist.get("count").unwrap().as_num(), Some(1.0));
+        assert!(doc.get("spans").unwrap().get("vm/vm.run").is_some());
+    }
+
+    #[test]
+    fn summary_table_mentions_every_section() {
+        let table = summary_table(&sample_snapshot());
+        assert!(table.contains("compiler/pass.const-fold"));
+        assert!(table.contains("counters:"));
+        assert!(table.contains("histograms:"));
+        assert!(table.contains("verify.cache.proc_hits"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": 3}").is_err());
+        let no_dur = "{\"traceEvents\":[{\"ph\":\"X\",\"cat\":\"c\",\"name\":\"n\",\"ts\":1}]}";
+        assert!(validate_chrome_trace(no_dur).unwrap_err().contains("dur"));
+        let bad_ph = "{\"traceEvents\":[{\"ph\":\"Q\",\"cat\":\"c\",\"name\":\"n\",\"ts\":1}]}";
+        assert!(validate_chrome_trace(bad_ph).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Fixed-bucket histograms and the shared exact-percentile helper.
+//!
+//! The histogram has one bucket per power of two (64 buckets plus a zero
+//! bucket), so recording is a `leading_zeros` and an increment — cheap
+//! enough for per-request hot paths — and merging across threads is a plain
+//! element-wise add.  Percentiles read from the buckets are upper-bound
+//! estimates (within 2× of the true value); call sites that keep exact
+//! samples (e.g. the server's `StreamMetrics`) use [`exact_percentile`]
+//! instead, the one shared definition of the nearest-rank percentile.
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts values in
+    /// `[2^(i-1), 2^i)`.
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+impl Histogram {
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank percentile estimated from the buckets: the upper bound
+    /// of the bucket the rank falls into, clamped to the recorded maximum.
+    /// Within 2× of the exact nearest-rank value by construction.
+    pub fn percentile(&self, pct: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (pct as u64 * self.count).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return upper.min(self.max).max(self.min());
+            }
+        }
+        self.max
+    }
+}
+
+/// The nearest-rank percentile of an unsorted sample set — the exact
+/// definition every layer of the workspace quotes (the server's
+/// `StreamMetrics` percentiles are this function over its per-request
+/// samples).
+pub fn exact_percentile(samples: &[u64], pct: u32) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = (pct as usize * sorted.len()).div_ceil(100);
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1006);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_upper_bounds_within_2x() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (1..=1000).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        for pct in [50, 90, 99, 100] {
+            let exact = exact_percentile(&samples, pct);
+            let est = h.percentile(pct);
+            assert!(est >= exact, "p{pct}: {est} < exact {exact}");
+            assert!(est <= exact * 2, "p{pct}: {est} > 2x exact {exact}");
+        }
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn exact_percentile_matches_the_streammetrics_definition() {
+        let samples = [100, 200, 300, 400, 1000];
+        assert_eq!(exact_percentile(&samples, 50), 300);
+        assert_eq!(exact_percentile(&samples, 99), 1000);
+        assert_eq!(exact_percentile(&samples, 100), 1000);
+        assert_eq!(exact_percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.percentile(99), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+}

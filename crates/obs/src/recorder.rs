@@ -1,0 +1,555 @@
+//! The thread-safe trace recorder: spans, instant events, counters,
+//! histograms, per-thread ring buffers, and the run-time half of the
+//! redaction boundary.
+//!
+//! ## Cost model
+//!
+//! A **disabled** recorder (the default) must cost nothing observable:
+//! [`Recorder::span`] is one relaxed atomic load returning an inert guard
+//! whose `attr`/`cycles`/`Drop` are no-ops — no clock read, no allocation,
+//! no lock.  Nothing in the recorder ever touches simulated state
+//! (`ExecStats`, worlds, memory), so tracing on vs off yields byte-identical
+//! simulated observables and cycle counts; the integration tests assert
+//! this end to end.
+//!
+//! ## Concurrency
+//!
+//! Each thread records into its own fixed-capacity ring buffer (cached
+//! through a thread-local, registered once in a shared list), so the hot
+//! path takes an uncontended per-thread lock; when the ring is full the
+//! oldest event is dropped and counted, never blocking the recording
+//! thread.  Counters and histograms are keyed by `'static` names in shared
+//! maps — they are updated far less often than spans.
+//!
+//! ## Redaction
+//!
+//! Attribute values are [`AttrValue`] — runtime byte payloads are
+//! unrepresentable (see [`crate::attr`]).  As a second line of defense,
+//! tests register the private bytes they plant in `World`s via
+//! [`Recorder::add_private_sentinel`]; in debug builds every recorded
+//! event's name, category and text attributes are scanned against the
+//! registered sentinels and a match panics at the record site, naming the
+//! offending span rather than letting the secret reach an export.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::attr::AttrValue;
+use crate::hist::Histogram;
+
+/// Per-thread ring capacity.  A full quick evaluation section records a few
+/// thousand events per thread; long full-scale runs wrap and count drops.
+const RING_CAPACITY: usize = 1 << 16;
+
+/// How an [`Event`] renders in the Chrome trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A duration slice (`ph: "X"`).
+    Complete,
+    /// A point-in-time marker (`ph: "i"`), e.g. a registry state change.
+    Instant,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Layer category (`"compiler"`, `"verifier"`, `"vm"`, `"server"`).
+    pub cat: &'static str,
+    pub name: &'static str,
+    /// Host nanoseconds since the recorder's epoch.
+    pub start_nanos: u64,
+    /// Host duration in nanoseconds (0 for instants).
+    pub dur_nanos: u64,
+    /// Simulated cycles attributed to the span (0 when not applicable) —
+    /// kept separate from host time throughout, like everywhere else in the
+    /// workspace.
+    pub cycles: u64,
+    pub attrs: Vec<(&'static str, AttrValue)>,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+}
+
+/// A live span (or pending instant event).  Created by [`Recorder::span`] /
+/// [`Recorder::instant`]; records itself when dropped.  When the recorder
+/// is disabled the guard is inert and every method is a no-op.
+pub struct Span<'r> {
+    rec: Option<&'r Recorder>,
+    kind: EventKind,
+    cat: &'static str,
+    name: &'static str,
+    start_nanos: u64,
+    cycles: u64,
+    attrs: Vec<(&'static str, AttrValue)>,
+}
+
+impl Span<'_> {
+    /// Whether this guard will record anything — lets call sites skip
+    /// attribute computation entirely when tracing is off.
+    pub fn active(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Attach a typed attribute.  The value must be an [`AttrValue`] scalar;
+    /// runtime strings and byte buffers do not convert (by design — see
+    /// [`AttrValue`]).
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
+        if self.rec.is_some() {
+            self.attrs.push((key, value.into()));
+        }
+    }
+
+    /// Attribute simulated cycles to the span.
+    pub fn cycles(&mut self, cycles: u64) {
+        if self.rec.is_some() {
+            self.cycles = cycles;
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(rec) = self.rec else { return };
+        let dur_nanos = match self.kind {
+            EventKind::Complete => rec.now_nanos().saturating_sub(self.start_nanos),
+            EventKind::Instant => 0,
+        };
+        rec.push(Event {
+            kind: self.kind,
+            cat: self.cat,
+            name: self.name,
+            start_nanos: self.start_nanos,
+            dur_nanos,
+            cycles: self.cycles,
+            attrs: std::mem::take(&mut self.attrs),
+        });
+    }
+}
+
+/// One thread's share of a [`TraceSnapshot`].
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    /// Recorder-assigned thread number (stable per thread, dense from 1).
+    pub tid: u64,
+    /// Events in record order.
+    pub events: Vec<Event>,
+    /// Events dropped because the ring was full.
+    pub dropped: u64,
+}
+
+/// A consistent copy of everything recorded so far, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct TraceSnapshot {
+    pub threads: Vec<ThreadEvents>,
+    pub counters: BTreeMap<&'static str, u64>,
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl TraceSnapshot {
+    /// Total events across all threads.
+    pub fn event_count(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Total events dropped to ring wrap-around across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.threads.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Iterate every event of every thread.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.threads.iter().flat_map(|t| t.events.iter())
+    }
+}
+
+/// The recorder.  Usually used through the process-wide [`recorder`];
+/// tests may build private instances.
+pub struct Recorder {
+    /// Process-unique id; keys the thread-local buffer cache so distinct
+    /// recorder instances (tests) never share ring buffers even if one is
+    /// dropped and another reuses its address.
+    id: u64,
+    on: AtomicBool,
+    epoch: OnceLock<Instant>,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    next_tid: AtomicU64,
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    hists: Mutex<BTreeMap<&'static str, Histogram>>,
+    sentinels: Mutex<Vec<Vec<u8>>>,
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+
+thread_local! {
+    /// (recorder id → this thread's buffer) cache; tiny (one entry in
+    /// production, a few in tests).
+    static BUFS: RefCell<Vec<(u64, Arc<ThreadBuf>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide recorder every instrumented layer records into.
+/// Disabled until someone (the `repro --trace` driver, a test) enables it.
+pub fn recorder() -> &'static Recorder {
+    GLOBAL.get_or_init(Recorder::new)
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// A fresh, disabled recorder.
+    pub fn new() -> Self {
+        Recorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            on: AtomicBool::new(false),
+            epoch: OnceLock::new(),
+            threads: Mutex::new(Vec::new()),
+            next_tid: AtomicU64::new(1),
+            counters: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            sentinels: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is on.  One relaxed load — cheap enough for every
+    /// hot path to ask directly.
+    pub fn enabled(&self) -> bool {
+        self.on.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off.  Already-recorded events are kept.
+    pub fn set_enabled(&self, on: bool) {
+        if on {
+            // Pin the epoch before the first span so timestamps are
+            // monotone from here on.
+            let _ = self.epoch.get_or_init(Instant::now);
+        }
+        self.on.store(on, Ordering::Relaxed);
+    }
+
+    fn now_nanos(&self) -> u64 {
+        self.epoch.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    /// Open a duration span in layer `cat`.  Inert (and free) when
+    /// disabled.
+    pub fn span(&self, cat: &'static str, name: &'static str) -> Span<'_> {
+        if !self.enabled() {
+            return Span {
+                rec: None,
+                kind: EventKind::Complete,
+                cat,
+                name,
+                start_nanos: 0,
+                cycles: 0,
+                attrs: Vec::new(),
+            };
+        }
+        Span {
+            rec: Some(self),
+            kind: EventKind::Complete,
+            cat,
+            name,
+            start_nanos: self.now_nanos(),
+            cycles: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Open an instant event (a point marker, e.g. a lifecycle transition).
+    /// Records when the returned guard drops.
+    pub fn instant(&self, cat: &'static str, name: &'static str) -> Span<'_> {
+        let mut s = self.span(cat, name);
+        s.kind = EventKind::Instant;
+        s
+    }
+
+    /// Add `delta` to the named monotonic counter.  No-op when disabled.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.assert_clean_str(name, "counter name");
+        *self
+            .counters
+            .lock()
+            .expect("obs counters poisoned")
+            .entry(name)
+            .or_insert(0) += delta;
+    }
+
+    /// Record one sample into the named histogram.  No-op when disabled.
+    pub fn record_hist(&self, name: &'static str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.assert_clean_str(name, "histogram name");
+        self.hists
+            .lock()
+            .expect("obs histograms poisoned")
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Register private bytes that must never appear in any recorded event
+    /// — the run-time half of the redaction boundary.  In debug builds
+    /// every subsequently recorded name/category/text attribute is scanned
+    /// for the registered byte patterns and a match panics at the record
+    /// site.
+    pub fn add_private_sentinel(&self, bytes: &[u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        self.sentinels
+            .lock()
+            .expect("obs sentinels poisoned")
+            .push(bytes.to_vec());
+    }
+
+    /// Drop all registered sentinels (tests clean up after themselves).
+    pub fn clear_private_sentinels(&self) {
+        self.sentinels
+            .lock()
+            .expect("obs sentinels poisoned")
+            .clear();
+    }
+
+    /// Discard every recorded event, counter and histogram (sentinels are
+    /// kept).  The enabled flag is untouched.
+    pub fn clear(&self) {
+        for buf in self.threads.lock().expect("obs threads poisoned").iter() {
+            buf.events.lock().expect("obs ring poisoned").clear();
+            buf.dropped.store(0, Ordering::Relaxed);
+        }
+        self.counters.lock().expect("obs counters poisoned").clear();
+        self.hists.lock().expect("obs histograms poisoned").clear();
+    }
+
+    /// Copy out everything recorded so far, per thread plus the shared
+    /// counters and histograms.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let mut threads: Vec<ThreadEvents> = self
+            .threads
+            .lock()
+            .expect("obs threads poisoned")
+            .iter()
+            .map(|buf| ThreadEvents {
+                tid: buf.tid,
+                events: buf
+                    .events
+                    .lock()
+                    .expect("obs ring poisoned")
+                    .iter()
+                    .cloned()
+                    .collect(),
+                dropped: buf.dropped.load(Ordering::Relaxed),
+            })
+            .collect();
+        threads.sort_by_key(|t| t.tid);
+        TraceSnapshot {
+            threads,
+            counters: self.counters.lock().expect("obs counters poisoned").clone(),
+            histograms: self.hists.lock().expect("obs histograms poisoned").clone(),
+        }
+    }
+
+    fn buf(&self) -> Arc<ThreadBuf> {
+        BUFS.with(|cell| {
+            let mut cached = cell.borrow_mut();
+            if let Some((_, buf)) = cached.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(buf);
+            }
+            let buf = Arc::new(ThreadBuf {
+                tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                events: Mutex::new(VecDeque::with_capacity(64)),
+                dropped: AtomicU64::new(0),
+            });
+            self.threads
+                .lock()
+                .expect("obs threads poisoned")
+                .push(Arc::clone(&buf));
+            cached.push((self.id, Arc::clone(&buf)));
+            buf
+        })
+    }
+
+    fn push(&self, event: Event) {
+        self.assert_no_sentinel(&event);
+        let buf = self.buf();
+        let mut ring = buf.events.lock().expect("obs ring poisoned");
+        if ring.len() >= RING_CAPACITY {
+            ring.pop_front();
+            buf.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(event);
+    }
+
+    fn assert_no_sentinel(&self, event: &Event) {
+        if cfg!(debug_assertions) {
+            self.assert_clean_str(event.name, "event name");
+            self.assert_clean_str(event.cat, "event category");
+            for (key, value) in &event.attrs {
+                self.assert_clean_str(key, "attribute key");
+                if let AttrValue::Text(text) = value {
+                    self.assert_clean_str(text, "attribute value");
+                }
+            }
+        }
+    }
+
+    fn assert_clean_str(&self, s: &str, what: &str) {
+        if !cfg!(debug_assertions) {
+            return;
+        }
+        let sentinels = self.sentinels.lock().expect("obs sentinels poisoned");
+        for sentinel in sentinels.iter() {
+            assert!(
+                !contains_subslice(s.as_bytes(), sentinel),
+                "private sentinel leaked into a recorded {what}: {s:?}"
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled())
+            .field(
+                "threads",
+                &self.threads.lock().expect("obs threads poisoned").len(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let rec = Recorder::new();
+        {
+            let mut s = rec.span("vm", "vm.run");
+            assert!(!s.active());
+            s.attr("cycles", 10u64);
+            s.cycles(10);
+        }
+        rec.count("hits", 3);
+        rec.record_hist("lat", 5);
+        let snap = rec.snapshot();
+        assert_eq!(snap.event_count(), 0);
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_counters_and_histograms_round_trip() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        {
+            let mut s = rec.span("verifier", "verify.proc");
+            s.attr("cache_hit", true);
+            s.cycles(42);
+        }
+        {
+            let mut i = rec.instant("server", "registry.transition");
+            i.attr("state", "warm");
+        }
+        rec.count("verify.cache.hits", 2);
+        rec.count("verify.cache.hits", 3);
+        rec.record_hist("server.request.cycles", 100);
+        let snap = rec.snapshot();
+        assert_eq!(snap.event_count(), 2);
+        let span = snap.events().find(|e| e.name == "verify.proc").unwrap();
+        assert_eq!(span.kind, EventKind::Complete);
+        assert_eq!(span.cycles, 42);
+        assert_eq!(span.attrs, vec![("cache_hit", AttrValue::Bool(true))]);
+        let inst = snap
+            .events()
+            .find(|e| e.name == "registry.transition")
+            .unwrap();
+        assert_eq!(inst.kind, EventKind::Instant);
+        assert_eq!(inst.dur_nanos, 0);
+        assert_eq!(snap.counters["verify.cache.hits"], 5);
+        assert_eq!(snap.histograms["server.request.cycles"].count(), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        for _ in 0..(RING_CAPACITY + 10) {
+            rec.span("vm", "tick");
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.event_count(), RING_CAPACITY);
+        assert_eq!(snap.dropped(), 10);
+    }
+
+    #[test]
+    fn threads_get_distinct_buffers() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.span("vm", "main-thread");
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    rec.span("vm", "worker");
+                });
+            }
+        });
+        let snap = rec.snapshot();
+        assert_eq!(snap.threads.len(), 4);
+        assert_eq!(snap.event_count(), 4);
+        let tids: Vec<u64> = snap.threads.iter().map(|t| t.tid).collect();
+        assert_eq!(tids, [1, 2, 3, 4], "dense stable tids");
+    }
+
+    #[test]
+    fn clear_resets_events_but_keeps_the_enable_state() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.span("vm", "tick");
+        rec.count("c", 1);
+        rec.clear();
+        assert!(rec.enabled());
+        let snap = rec.snapshot();
+        assert_eq!(snap.event_count(), 0);
+        assert!(snap.counters.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "private sentinel leaked")]
+    fn sentinel_in_a_text_attribute_panics_at_the_record_site() {
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        rec.add_private_sentinel(b"HUNTER2");
+        let mut s = rec.span("server", "request");
+        // A *static* string carrying the planted secret — the only way text
+        // can reach an attribute, and exactly what the scan must catch.
+        s.attr("body", "password=HUNTER2");
+    }
+
+    #[test]
+    fn the_global_recorder_is_one_instance() {
+        assert!(std::ptr::eq(recorder(), recorder()));
+    }
+}

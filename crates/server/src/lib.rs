@@ -61,8 +61,3 @@ pub use registry::{
 pub use reqgen::{RequestGen, StreamKind};
 pub use runtime::{ExecMode, ServeError, Server, ServerConfig, ServiceReport, SessionOutcome};
 pub use session::{Request, SessionSpec, SessionSpecBuilder};
-
-#[allow(deprecated)]
-pub use registry::BinaryRegistry;
-#[allow(deprecated)]
-pub use runtime::ServerOptions;

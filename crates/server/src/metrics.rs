@@ -93,6 +93,15 @@ pub struct StreamMetrics {
 
 impl StreamMetrics {
     pub fn add(&mut self, r: &RequestMetrics) {
+        // Feed the shared observability histograms (the trace/metrics
+        // exports aggregate over every stream; the exact per-stream sample
+        // vectors below stay authoritative for this stream's percentiles).
+        let rec = confllvm_obs::recorder();
+        if rec.enabled() {
+            rec.record_hist("server.request.cycles", r.cycles);
+            rec.record_hist("server.request.host_nanos", r.host_nanos);
+            rec.record_hist("server.request.dirty_pages", r.dirty_pages);
+        }
         self.requests += 1;
         self.total_cycles += r.cycles;
         self.setup_cycles += r.setup_cycles;
@@ -141,24 +150,16 @@ impl StreamMetrics {
     }
 
     /// The `pct`-th latency percentile in simulated cycles (e.g. 50, 99).
+    /// Exact nearest-rank over this stream's samples, shared with the
+    /// observability layer's [`confllvm_obs::exact_percentile`].
     pub fn percentile(&self, pct: u32) -> u64 {
-        Self::rank_of(&self.latencies, pct)
+        confllvm_obs::exact_percentile(&self.latencies, pct)
     }
 
     /// The `pct`-th *measured host* latency percentile in nanoseconds —
     /// what the load-vs-serve interference comparison quotes.
     pub fn host_percentile(&self, pct: u32) -> u64 {
-        Self::rank_of(&self.host_latencies, pct)
-    }
-
-    fn rank_of(samples: &[u64], pct: u32) -> u64 {
-        if samples.is_empty() {
-            return 0;
-        }
-        let mut sorted = samples.to_vec();
-        sorted.sort_unstable();
-        let rank = (pct as usize * sorted.len()).div_ceil(100);
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        confllvm_obs::exact_percentile(&self.host_latencies, pct)
     }
 
     /// Share of total cycles spent crossing the U/T boundary, in percent.

@@ -339,6 +339,22 @@ impl Default for Registry {
     }
 }
 
+/// Record one version-lifecycle transition as a tagged `server`-layer
+/// instant event — one per edge of
+/// `Verifying → Warm → Active → Draining → Retired | Rejected`, carrying
+/// the version and binary handles and the state entered.  No-op when the
+/// process-wide recorder is disabled.
+fn lifecycle_event(binary: BinaryId, version: VersionId, state: VersionState) {
+    let rec = confllvm_obs::recorder();
+    if !rec.enabled() {
+        return;
+    }
+    let mut e = rec.instant("server", "registry.transition");
+    e.attr("binary", binary.0);
+    e.attr("version", version.0);
+    e.attr("state", state.name());
+}
+
 impl Registry {
     /// A fresh registry with the serial verifier and an empty cache.
     pub fn new(policy: VerifyPolicy) -> Self {
@@ -425,6 +441,7 @@ impl Registry {
                 .push(version_id);
             (binary_id, version_id)
         };
+        lifecycle_event(binary_id, version_id, VersionState::Verifying);
 
         // …then do all the expensive work unlocked, so submissions verify
         // concurrently.
@@ -488,6 +505,8 @@ impl Registry {
             .expect("version entry outlives submission");
         entry.state = VersionState::Warm;
         entry.service = Some(service);
+        drop(inner);
+        lifecycle_event(binary_id, version_id, VersionState::Warm);
         Ok(version_id)
     }
 
@@ -507,9 +526,16 @@ impl Registry {
 
     fn reject(&self, version: VersionId, errors: Vec<VerifyError>) {
         let mut inner = self.lock();
-        if let Some(entry) = inner.versions.get_mut(&version) {
+        let binary = if let Some(entry) = inner.versions.get_mut(&version) {
             entry.state = VersionState::Rejected;
             entry.errors = errors;
+            Some(entry.binary)
+        } else {
+            None
+        };
+        drop(inner);
+        if let Some(binary) = binary {
+            lifecycle_event(binary, version, VersionState::Rejected);
         }
     }
 
@@ -533,6 +559,7 @@ impl Registry {
             .get(&binary)
             .and_then(|b| b.active)
             .filter(|&old| old != version);
+        let mut old_state = None;
         if let Some(old) = previous {
             let old_entry = inner
                 .versions
@@ -544,6 +571,7 @@ impl Registry {
             } else {
                 VersionState::Draining
             };
+            old_state = Some((old, old_entry.state));
         }
         inner
             .versions
@@ -555,6 +583,11 @@ impl Registry {
             .get_mut(&binary)
             .expect("version's binary exists")
             .active = Some(version);
+        drop(inner);
+        if let Some((old, state)) = old_state {
+            lifecycle_event(binary, old, state);
+        }
+        lifecycle_event(binary, version, VersionState::Active);
         Ok(())
     }
 
@@ -584,12 +617,18 @@ impl Registry {
     /// [`VersionState::Draining`] version retires it.
     pub fn release(&self, version: VersionId) {
         let mut inner = self.lock();
+        let mut retired = None;
         if let Some(entry) = inner.versions.get_mut(&version) {
             entry.pins = entry.pins.saturating_sub(1);
             if entry.pins == 0 && entry.state == VersionState::Draining {
                 entry.state = VersionState::Retired;
                 entry.service = None;
+                retired = Some(entry.binary);
             }
+        }
+        drop(inner);
+        if let Some(binary) = retired {
+            lifecycle_event(binary, version, VersionState::Retired);
         }
     }
 
@@ -673,65 +712,7 @@ impl Registry {
             .expect("a just-submitted warm version promotes");
         Ok(version)
     }
-
-    // ----- deprecated string-keyed compatibility surface ------------------
-
-    /// Compatibility shim for the pre-handle API.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `submit_program` + `promote` (or `deploy_program`); names are no longer unique keys"
-    )]
-    pub fn register_program(
-        &self,
-        name: &str,
-        program: Program,
-        config: Config,
-        setup: Option<SetupSpec>,
-    ) -> Result<Arc<ServiceBinary>, RegisterError> {
-        let version = self.deploy_program(name, program, config, setup)?;
-        let service = self
-            .lock()
-            .versions
-            .get(&version)
-            .and_then(|e| e.service.clone())
-            .expect("just-promoted version has a payload");
-        Ok(service)
-    }
-
-    /// Compatibility shim for the pre-handle API.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `submit_source` + `promote` (or `deploy_source`); names are no longer unique keys"
-    )]
-    pub fn register_source(
-        &self,
-        name: &str,
-        source: &str,
-        opts: &CompileOptions,
-        setup: Option<SetupSpec>,
-    ) -> Result<Arc<ServiceBinary>, RegisterError> {
-        let compiled = compile(source, opts).map_err(RegisterError::Compile)?;
-        #[allow(deprecated)]
-        self.register_program(name, compiled.program, opts.config, setup)
-    }
-
-    /// Compatibility shim for the pre-handle API: the active version's
-    /// payload, by name.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `binary_id` + `checkout_active` so the session is pinned"
-    )]
-    pub fn get(&self, name: &str) -> Option<Arc<ServiceBinary>> {
-        let inner = self.lock();
-        let binary = inner.by_name.get(name)?;
-        let active = inner.binaries.get(binary)?.active?;
-        inner.versions.get(&active)?.service.clone()
-    }
 }
-
-/// Compatibility alias for the pre-handle API.
-#[deprecated(since = "0.2.0", note = "use `Registry`")]
-pub type BinaryRegistry = Registry;
 
 #[cfg(test)]
 mod tests {
@@ -954,16 +935,42 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_string_shims_still_deploy() {
-        let reg: BinaryRegistry = Registry::new(VerifyPolicy::RequireVerified);
+    fn lifecycle_transitions_emit_tagged_events() {
+        use confllvm_obs::{recorder, AttrValue};
+
+        let rec = recorder();
+        rec.set_enabled(true);
+        let reg = Registry::new(VerifyPolicy::RequireVerified);
         let opts = CompileOptions::for_config(Config::OurMpx);
-        let b = reg.register_source("auth", APP, &opts, None).unwrap();
-        assert!(b.verified());
-        assert_eq!(reg.get("auth").unwrap().name, "auth");
-        // The old Duplicate error is gone: re-registering rolls a version.
-        let b2 = reg.register_source("auth", APP, &opts, None).unwrap();
-        assert_ne!(b.version_id, b2.version_id);
-        assert_eq!(reg.get("auth").unwrap().version_id, b2.version_id);
+        let v1 = reg.submit_source("auth", APP, &opts, None).unwrap();
+        reg.promote(v1).unwrap();
+        let v2 = reg.submit_source("auth", APP, &opts, None).unwrap();
+        reg.promote(v2).unwrap();
+        rec.set_enabled(false);
+
+        // Pull out the transition markers tagged with each version's id.
+        let states_of = |version: VersionId| -> Vec<&'static str> {
+            rec.snapshot()
+                .events()
+                .filter(|e| {
+                    e.name == "registry.transition"
+                        && e.attrs.contains(&("version", AttrValue::U64(version.0)))
+                })
+                .filter_map(|e| {
+                    e.attrs.iter().find_map(|(k, v)| match v {
+                        AttrValue::Text(s) if *k == "state" => Some(*s),
+                        _ => None,
+                    })
+                })
+                .collect()
+        };
+        // v1: submitted, warmed, promoted, then retired by v2's promotion
+        // (no pinned sessions, so it skips Draining).
+        assert_eq!(
+            states_of(v1),
+            ["verifying", "warm", "active", "retired"],
+            "v1 walks the full lifecycle"
+        );
+        assert_eq!(states_of(v2), ["verifying", "warm", "active"]);
     }
 }

@@ -100,10 +100,6 @@ impl ServerConfig {
     }
 }
 
-/// Compatibility alias for the pre-handle API.
-#[deprecated(since = "0.2.0", note = "use `ServerConfig`")]
-pub type ServerOptions = ServerConfig;
-
 /// A serving failure.
 #[derive(Debug)]
 pub enum ServeError {
@@ -111,11 +107,6 @@ pub enum ServeError {
     UnknownBinary {
         /// The unknown handle.
         binary: BinaryId,
-    },
-    /// No binary with this name was ever submitted (string-shim path).
-    UnknownName {
-        /// The unknown name.
-        name: String,
     },
     /// The binary exists but nothing is promoted: versions may be warm,
     /// draining or rejected, but none is active to serve new sessions.
@@ -148,7 +139,6 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::UnknownBinary { binary } => write!(f, "no such binary {binary}"),
-            ServeError::UnknownName { name } => write!(f, "no binary `{name}` submitted"),
             ServeError::NoActiveVersion { binary } => {
                 write!(f, "{binary} has no active version (nothing promoted)")
             }
@@ -282,6 +272,12 @@ impl Server {
             }
         }
         let started = Instant::now();
+        let mut obs_span = confllvm_obs::recorder().span("server", "server.serve");
+        if obs_span.active() {
+            obs_span.attr("sessions", sessions.len());
+            obs_span.attr("mode", mode.name());
+            obs_span.attr("workers", self.config.workers);
+        }
 
         let workers = self.config.workers.max(1).min(sessions.len().max(1));
         let mut shards: Vec<Vec<SessionSpec>> = (0..workers).map(|_| Vec::new()).collect();
@@ -298,7 +294,7 @@ impl Server {
                         let vm_opts = self.config.vm.clone();
                         let pool_opts = self.config.pool;
                         scope.spawn(move || {
-                            run_shard(&registry, binary, vm_opts, pool_opts, shard, mode)
+                            run_shard(&registry, binary, vm_opts, pool_opts, shard, mode, started)
                         })
                     })
                     .collect();
@@ -320,6 +316,10 @@ impl Server {
         for s in &outcomes {
             metrics.merge(&s.metrics);
         }
+        if obs_span.active() {
+            obs_span.attr("instances_spawned", spawned);
+            obs_span.attr("requests", metrics.requests);
+        }
         Ok(ServiceReport {
             binary,
             name,
@@ -330,29 +330,17 @@ impl Server {
             host_micros: started.elapsed().as_micros(),
         })
     }
-
-    /// Compatibility shim for the pre-handle API: serve by name.
-    #[deprecated(since = "0.2.0", note = "resolve a `BinaryId` and use `serve`")]
-    pub fn serve_named(
-        &self,
-        name: &str,
-        sessions: &[SessionSpec],
-        mode: ExecMode,
-    ) -> Result<ServiceReport, ServeError> {
-        let binary = self
-            .registry
-            .binary_id(name)
-            .ok_or_else(|| ServeError::UnknownName {
-                name: name.to_string(),
-            })?;
-        self.serve(binary, sessions, mode)
-    }
 }
 
 /// Run one worker's share of the sessions.  Each session checks out the
 /// active version at its start (pinning it), serves its whole stream on
 /// that version's pool, and releases it at the end — success or failure.
 /// Returns the outcomes plus the number of VMs spawned.
+///
+/// With the recorder enabled, each session records a `server`-layer span
+/// carrying its pinned version and how long it waited behind earlier
+/// sessions on this worker (`queue_wait_nanos`, measured from `queued_at`,
+/// the instant `serve` sharded the sessions).
 fn run_shard(
     registry: &Registry,
     binary: BinaryId,
@@ -360,11 +348,15 @@ fn run_shard(
     pool_opts: PoolOptions,
     shard: Vec<SessionSpec>,
     mode: ExecMode,
+    queued_at: Instant,
 ) -> Result<(Vec<SessionOutcome>, u64), ServeError> {
+    let rec = confllvm_obs::recorder();
     let mut pools: HashMap<VersionId, VmPool> = HashMap::new();
     let mut outcomes = Vec::with_capacity(shard.len());
     let mut spawned = 0u64;
     for session in &shard {
+        let mut span = rec.span("server", "server.session");
+        let queue_wait_nanos = span.active().then(|| queued_at.elapsed().as_nanos() as u64);
         let (version, service) = registry
             .checkout_active(binary)
             .ok_or(ServeError::NoActiveVersion { binary })?;
@@ -381,6 +373,15 @@ fn run_shard(
             }
         };
         registry.release(version);
+        if span.active() {
+            span.attr("session", session.id.raw());
+            span.attr("version", version.0);
+            span.attr("requests", session.requests.len());
+            span.attr("queue_wait_nanos", queue_wait_nanos.unwrap_or(0));
+            rec.count("server.queue_wait_nanos", queue_wait_nanos.unwrap_or(0));
+            rec.count("server.sessions", 1);
+        }
+        drop(span);
         outcomes.push(result?);
     }
     if mode == ExecMode::Pooled {
@@ -405,13 +406,26 @@ fn run_session_pooled(
         metrics: StreamMetrics::default(),
     };
     for (index, req) in session.requests.iter().enumerate() {
+        let rec = confllvm_obs::recorder();
+        let mut req_span = rec.span("server", "server.request");
         let host_t0 = Instant::now();
-        let (dirty, restore_cycles) = inst.reset(&pool_opts);
+        let (dirty, restore_cycles) = {
+            let mut restore_span = rec.span("server", "server.restore");
+            let (dirty, restore_cycles) = inst.reset(&pool_opts);
+            if restore_span.active() {
+                restore_span.attr("dirty_pages", dirty);
+                restore_span.cycles(restore_cycles);
+            }
+            (dirty, restore_cycles)
+        };
         if let Some(input) = &req.input {
             inst.vm.world.push_request(input);
         }
         let before = inst.vm.stats.clone();
-        let result = inst.vm.run_function(&req.entry, &req.args);
+        let result = {
+            let _exec_span = rec.span("server", "server.execute");
+            inst.vm.run_function(&req.entry, &req.args)
+        };
         match result.outcome {
             Outcome::Exit(code) => out.exit_codes.push(code),
             outcome => {
@@ -427,6 +441,15 @@ fn run_session_pooled(
         m.dirty_pages = dirty;
         m.cycles += restore_cycles;
         m.host_nanos = host_t0.elapsed().as_nanos() as u64;
+        if req_span.active() {
+            req_span.attr("index", index);
+            req_span.attr("dirty_pages", m.dirty_pages);
+            req_span.attr("restore_cycles", m.restore_cycles);
+            req_span.attr("tcross", m.stack_switches);
+            req_span.attr("extern_cycles", m.extern_cycles);
+            req_span.cycles(m.cycles);
+        }
+        drop(req_span);
         out.metrics.add(&m);
         out.sent
             .extend_from_slice(&inst.vm.world.sent[inst.sent_baseline..]);
@@ -450,15 +473,27 @@ fn run_session_cold(
         metrics: StreamMetrics::default(),
     };
     for (index, req) in session.requests.iter().enumerate() {
+        let rec = confllvm_obs::recorder();
+        let mut req_span = rec.span("server", "server.request");
         let host_t0 = Instant::now();
-        let (mut vm, setup_cycles) = pool.spawn_cold(&session.world)?;
+        let (mut vm, setup_cycles) = {
+            let mut spawn_span = rec.span("server", "server.spawn");
+            let (vm, setup_cycles) = pool.spawn_cold(&session.world)?;
+            if spawn_span.active() {
+                spawn_span.cycles(setup_cycles);
+            }
+            (vm, setup_cycles)
+        };
         let sent_baseline = vm.world.sent.len();
         let log_baseline = vm.world.log.len();
         if let Some(input) = &req.input {
             vm.world.push_request(input);
         }
         let before = vm.stats.clone();
-        let result = vm.run_function(&req.entry, &req.args);
+        let result = {
+            let _exec_span = rec.span("server", "server.execute");
+            vm.run_function(&req.entry, &req.args)
+        };
         match result.outcome {
             Outcome::Exit(code) => out.exit_codes.push(code),
             outcome => {
@@ -473,6 +508,14 @@ fn run_session_cold(
         m.setup_cycles = setup_cycles;
         m.cycles += setup_cycles;
         m.host_nanos = host_t0.elapsed().as_nanos() as u64;
+        if req_span.active() {
+            req_span.attr("index", index);
+            req_span.attr("setup_cycles", m.setup_cycles);
+            req_span.attr("tcross", m.stack_switches);
+            req_span.attr("extern_cycles", m.extern_cycles);
+            req_span.cycles(m.cycles);
+        }
+        drop(req_span);
         out.metrics.add(&m);
         out.sent.extend_from_slice(&vm.world.sent[sent_baseline..]);
         out.log.extend_from_slice(&vm.world.log[log_baseline..]);
@@ -695,20 +738,5 @@ mod tests {
         for (x, y) in before.sessions.iter().zip(&after.sessions) {
             assert_eq!(x.exit_codes, y.exit_codes);
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_serve_named_still_works() {
-        let (server, _) = ldap_server(Config::OurMpx, 32);
-        let sessions = ldap_sessions(1, 2, 32);
-        let report = server
-            .serve_named("ldap", &sessions, ExecMode::Pooled)
-            .unwrap();
-        assert_eq!(report.name, "ldap");
-        let err = server
-            .serve_named("nope", &sessions, ExecMode::Pooled)
-            .unwrap_err();
-        assert!(matches!(err, ServeError::UnknownName { .. }), "{err}");
     }
 }

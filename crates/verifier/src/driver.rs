@@ -69,14 +69,22 @@ pub fn verify_with(
     opts: &VerifyOptions,
     cache: Option<&VerifyCache>,
 ) -> Result<VerifyReport, Vec<VerifyError>> {
+    let rec = confllvm_obs::recorder();
+    let mut obs_span = rec.span("verifier", "verify.binary");
     let binary_key = cache.map(|c| (c, binary_content_hash(binary)));
     if let Some((c, key)) = binary_key {
         if let Some(mut cached) = c.lookup_binary(key) {
             if let Ok(report) = &mut cached {
                 report.cached_procedures = report.procedures;
             }
+            rec.count("verify.cache.binary_hits", 1);
+            if obs_span.active() {
+                obs_span.attr("cached", true);
+                obs_span.attr("accepted", cached.is_ok());
+            }
             return cached;
         }
+        rec.count("verify.cache.binary_misses", 1);
     }
     let shared = Shared::new(binary)?;
     let procs = shared.discover_procedures();
@@ -104,34 +112,61 @@ pub fn verify_with(
     if let Some((c, key)) = binary_key {
         c.store_binary(key, &result);
     }
+    if obs_span.active() {
+        obs_span.attr("cached", false);
+        obs_span.attr("procedures", procs.len());
+        obs_span.attr("accepted", result.is_ok());
+    }
     result
 }
 
 /// Check every procedure, serially or over a work queue.  Returns outcomes
 /// in procedure order with a was-cache-hit flag each.
+///
+/// With the recorder enabled, each procedure records a `verifier`-layer
+/// span (magic word, cache hit, error count) and the cache lookups feed
+/// the `verify.cache.proc_*` counters; the parallel path additionally
+/// accounts each task's wait between queue creation and pickup under
+/// `verify.queue_wait_nanos`.
 fn run_procs(
     shared: &Shared<'_>,
     procs: &[Proc],
     threads: usize,
     cache: Option<&VerifyCache>,
 ) -> Vec<(ProcOutcome, bool)> {
+    let rec = confllvm_obs::recorder();
     let header_ctx = cache.map(|_| header_ctx_hash(&shared.binary.header));
     let check_one = |p: &Proc| -> (ProcOutcome, bool) {
-        if let (Some(c), Some(ctx)) = (cache, header_ctx) {
+        let mut span = rec.span("verifier", "verify.proc");
+        let (outcome, was_hit) = if let (Some(c), Some(ctx)) = (cache, header_ctx) {
             let key = proc_content_hash(shared, p, ctx);
             if let Some(hit) = c.lookup_proc(key, p.magic_word) {
-                return (hit, true);
+                rec.count("verify.cache.proc_hits", 1);
+                (hit, true)
+            } else {
+                rec.count("verify.cache.proc_misses", 1);
+                let outcome = check_procedure(shared, p);
+                c.store_proc(key, p.magic_word, &outcome);
+                (outcome, false)
             }
-            let outcome = check_procedure(shared, p);
-            c.store_proc(key, p.magic_word, &outcome);
-            return (outcome, false);
+        } else {
+            (check_procedure(shared, p), false)
+        };
+        if span.active() {
+            span.attr("magic_word", p.magic_word);
+            span.attr("cache_hit", was_hit);
+            span.attr("errors", outcome.errors.len());
         }
-        (check_procedure(shared, p), false)
+        (outcome, was_hit)
     };
     let workers = threads.max(1).min(procs.len().max(1));
     if workers <= 1 {
         return procs.iter().map(check_one).collect();
     }
+    // Queue-wait accounting: time from queue creation to each task's
+    // pickup.  Only sampled when tracing, so the untraced hot path never
+    // reads the clock.
+    let queued_at = rec.enabled().then(Instant::now);
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<(ProcOutcome, bool)>> = procs.iter().map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
@@ -139,6 +174,10 @@ fn run_procs(
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(p) = procs.get(i) else { break };
+                if let Some(t0) = queued_at {
+                    rec.count("verify.queue_tasks", 1);
+                    rec.count("verify.queue_wait_nanos", t0.elapsed().as_nanos() as u64);
+                }
                 let out = check_one(p);
                 assert!(slots[i].set(out).is_ok(), "each slot is claimed once");
             });
@@ -206,9 +245,14 @@ pub fn verify_fleet(
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(binary) = binaries.get(i) else { break };
+                let mut span = confllvm_obs::recorder().span("verifier", "verify.fleet_task");
                 let t0 = Instant::now();
                 let result = verify_with(binary, &VerifyOptions::serial(), cache);
                 let micros = t0.elapsed().as_micros();
+                if span.active() {
+                    span.attr("task", i);
+                    span.attr("accepted", result.is_ok());
+                }
                 assert!(
                     slots[i].set((result, micros)).is_ok(),
                     "each slot is claimed once"

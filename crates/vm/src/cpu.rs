@@ -265,6 +265,7 @@ impl Vm {
     /// thread context.  Execution statistics keep accumulating across
     /// restores; callers interested in per-request numbers diff [`Vm::stats`].
     pub fn snapshot(&mut self) -> VmSnapshot {
+        let _span = confllvm_obs::recorder().span("vm", "vm.snapshot");
         VmSnapshot {
             mem: self.memory.snapshot(),
             world: self.world.clone(),
@@ -277,11 +278,13 @@ impl Vm {
     /// Rewind memory (O(pages dirtied since the snapshot)), heaps, world and
     /// cache to `snap`.  The snapshot must have been taken from this VM.
     pub fn restore(&mut self, snap: &VmSnapshot) -> RestoreStats {
+        let mut span = confllvm_obs::recorder().span("vm", "vm.restore");
         let dirty_pages = self.memory.restore(&snap.mem);
         self.world = snap.world.clone();
         self.pub_heap = snap.pub_heap.clone();
         self.priv_heap = snap.priv_heap.clone();
         self.cache = snap.cache.clone();
+        span.attr("dirty_pages", dirty_pages);
         RestoreStats { dirty_pages }
     }
 
@@ -292,8 +295,37 @@ impl Vm {
     }
 
     /// Run a named function with up to four integer arguments on thread 0.
+    ///
+    /// With the process-wide recorder enabled a `vm`-layer span records the
+    /// run's simulated cost (cycles, instructions, checks, U↔T crossings)
+    /// from the [`ExecStats`] delta.  The instrumentation only *reads* the
+    /// stats — cycle counts and observables are byte-identical traced or
+    /// not.  The function name is a runtime string and deliberately cannot
+    /// be attached (see `confllvm_obs`'s attribute rules).
     pub fn run_function(&mut self, name: &str, args: &[i64]) -> RunResult {
+        let mut span = confllvm_obs::recorder().span("vm", "vm.run");
+        let before = span.active().then(|| self.stats.clone());
         let outcome = self.run_thread(0, name, args);
+        if let Some(before) = before {
+            span.cycles(self.stats.cycles - before.cycles);
+            span.attr(
+                "instructions",
+                self.stats.instructions - before.instructions,
+            );
+            span.attr(
+                "bound_checks",
+                self.stats.bound_checks - before.bound_checks,
+            );
+            span.attr(
+                "extern_calls",
+                self.stats.extern_calls - before.extern_calls,
+            );
+            span.attr(
+                "extern_cycles",
+                self.stats.extern_cycles - before.extern_cycles,
+            );
+            span.attr("faulted", outcome.is_fault());
+        }
         RunResult {
             outcome,
             stats: self.stats.clone(),

@@ -10,6 +10,7 @@ pub use confllvm_formal as formal;
 pub use confllvm_ir as ir;
 pub use confllvm_machine as machine;
 pub use confllvm_minic as minic;
+pub use confllvm_obs as obs;
 pub use confllvm_server as server;
 pub use confllvm_verify as verify;
 pub use confllvm_vm as vm;
