@@ -19,8 +19,13 @@ use confllvm_server::{
 };
 use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
 
+pub mod server_scale;
 pub mod verify_scale;
 
+pub use server_scale::{
+    render_server_scale, server_scale_json, server_scale_report, write_server_scale_json,
+    ServerScalePoint, ServerScaleReport,
+};
 pub use verify_scale::{
     diff_bench_json, render_verify_scale, verify_scale_json, verify_scale_report,
     write_verify_scale_json, VerifyScaleReport,
@@ -250,11 +255,68 @@ pub fn ablation_passes_rows(scale: i64) -> Vec<AblationPassesRow> {
     rows
 }
 
+/// Serialise the ablation rows as the flat scalar JSON the golden diff
+/// understands.  Every key — executed checks and simulated cycles under
+/// each pipeline — is deterministic, so the whole file is exact-diffed
+/// against its golden copy.
+pub fn ablation_passes_json(rows: &[AblationPassesRow], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    let mut field = |key: String, value: String, last: bool| {
+        s.push_str(&format!("  \"{key}\": {value}"));
+        s.push_str(if last { "\n" } else { ",\n" });
+    };
+    field("section".into(), "\"ablation_passes\"".into(), false);
+    field("quick".into(), quick.to_string(), false);
+    field("rows".into(), rows.len().to_string(), false);
+    field(
+        "improved".into(),
+        rows.iter().filter(|r| r.improved()).count().to_string(),
+        false,
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let last_row = i + 1 == rows.len();
+        let k = r.workload;
+        field(format!("{k}.checks_pr1"), r.checks_pr1.to_string(), false);
+        field(format!("{k}.checks_full"), r.checks_full.to_string(), false);
+        field(format!("{k}.cycles_pr1"), r.cycles_pr1.to_string(), false);
+        field(
+            format!("{k}.cycles_full"),
+            r.cycles_full.to_string(),
+            last_row,
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Write the ablation benchmark JSON atomically (temp file + rename), like
+/// [`write_verify_scale_json`].
+pub fn write_ablation_passes_json(
+    rows: &[AblationPassesRow],
+    quick: bool,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let json = ablation_passes_json(rows, quick);
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
 /// The `ablation_passes` section: what cross-block redundant-check
 /// elimination and loop-invariant hoisting buy on top of the Section 5.1
 /// optimisations, per workload, in executed checks and simulated cycles.
 pub fn ablation_passes_table(scale: i64) -> String {
-    let rows = ablation_passes_rows(scale);
+    ablation_passes_table_for(&ablation_passes_rows(scale))
+}
+
+/// Render the ablation table for rows the caller already computed (so one
+/// run can feed both the table and the JSON emission).
+pub fn ablation_passes_table_for(rows: &[AblationPassesRow]) -> String {
     let mut out = String::new();
     out.push_str("== Ablation — machine pass pipelines on OurMPX (pr1 = Section 5.1 trio, full = +hoist +cross-block)\n");
     out.push_str(&format!(
@@ -269,7 +331,7 @@ pub fn ablation_passes_table(scale: i64) -> String {
         }
     };
     let mut improved = 0;
-    for r in &rows {
+    for r in rows {
         out.push_str(&format!(
             "{:<12}{:>14}{:>14}{:>8.1}%{:>14}{:>14}{:>8.2}%\n",
             r.workload,

@@ -22,7 +22,7 @@ use confllvm_bench::*;
 
 /// Every evaluation section: canonical name, legacy flag alias, workload
 /// aliases accepted by `--section`, and a description.
-const SECTIONS: [(&str, &str, &[&str], &str); 10] = [
+const SECTIONS: [(&str, &str, &[&str], &str); 11] = [
     (
         "fig5",
         "--fig5",
@@ -77,6 +77,12 @@ const SECTIONS: [(&str, &str, &[&str], &str); 10] = [
         "--verify-scale",
         &["verify"],
         "fleet-scale ConfVerify: parallel vs serial, content-hash cache, blue/green hot-swap (emits BENCH_verify_scale.json)",
+    ),
+    (
+        "server_scale",
+        "--server-scale",
+        &["scale"],
+        "serving layer at scale: CoW session forks + backpressured virtual-time scheduler, 10^4-10^5 sessions (emits BENCH_server_scale.json)",
     ),
 ];
 
@@ -336,7 +342,16 @@ fn main() {
         println!("{}", porting_table());
     }
     if want("ablation_passes") {
-        println!("{}", ablation_passes_table(spec_scale));
+        let rows = ablation_passes_rows(spec_scale);
+        println!("{}", ablation_passes_table_for(&rows));
+        let path = std::path::Path::new("BENCH_ablation_passes.json");
+        match write_ablation_passes_json(&rows, quick, path) {
+            Ok(()) => println!("   wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
     }
     if want("server_throughput") {
         let rows = server_throughput_rows(quick);
@@ -355,6 +370,18 @@ fn main() {
         println!("{}", render_verify_scale(&report));
         let path = std::path::Path::new("BENCH_verify_scale.json");
         match write_verify_scale_json(&report, path) {
+            Ok(()) => println!("   wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("server_scale") {
+        let report = server_scale_report(quick);
+        println!("{}", render_server_scale(&report));
+        let path = std::path::Path::new("BENCH_server_scale.json");
+        match write_server_scale_json(&report, path) {
             Ok(()) => println!("   wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: writing {}: {e}", path.display());

@@ -1,0 +1,468 @@
+//! The `server_scale` section: copy-on-write session VMs under an
+//! event-driven, backpressured scheduler, swept to 10^4–10^5 concurrent
+//! sessions.
+//!
+//! Each sweep point forks every session from the version's shared snapshot
+//! template and drives a zipfian, bursty arrival plan through the
+//! deterministic virtual-time scheduler
+//! ([`Server::serve_scaled`](confllvm_server::Server::serve_scaled)).  The
+//! smallest point is additionally re-run with `isolate_sessions` — the
+//! per-session-pool baseline, where every session pays its own full load +
+//! setup — to establish two things the section then quotes at every scale:
+//!
+//! * **equivalence** — forked and isolated execution produce byte-identical
+//!   attacker-observable traces (asserted, and also covered by the pool and
+//!   runtime unit tests);
+//! * **residency** — an isolated session parks on its full private snapshot
+//!   while a forked session parks only on its CoW-faulted pages (zero when
+//!   setup is shareable, as NGINX's is).  Per-session parked residency is
+//!   constant per mode by construction, so the baseline measured at the
+//!   small point is the honest per-session denominator at 10^4 too.
+//!
+//! Everything the scheduler reports — executed/shed/deferred counts, queue
+//! depths, virtual-latency percentiles, makespan — is integer virtual-time
+//! arithmetic over simulated cycles, so the emitted
+//! `BENCH_server_scale.json` is exact-diffable against its golden copy on
+//! any host; only `*_host_micros` keys are timing-class.
+
+use confllvm_core::Config;
+use confllvm_server::{
+    ArrivalOptions, ArrivalPlan, BinaryId, PoolOptions, RequestGen, ScaleReport, SchedulerConfig,
+    Server, ServerConfig, SessionSpec, StreamKind,
+};
+use confllvm_workloads::nginx;
+
+use crate::{server_for, ServerLoad};
+
+/// One sweep point: one forked scale run at `sessions` concurrent sessions.
+#[derive(Debug, Clone)]
+pub struct ServerScalePoint {
+    pub sessions: usize,
+    pub arrivals: usize,
+    pub executed: u64,
+    pub shed: u64,
+    pub deferred: u64,
+    pub windows: u64,
+    pub max_queue_depth: u64,
+    pub mean_queue_depth: f64,
+    /// Virtual (arrival-to-completion) latency percentiles, simulated cycles.
+    pub p99_virtual_cycles: u64,
+    pub p999_virtual_cycles: u64,
+    /// Service-only latency tail, simulated cycles.
+    pub p999_service_cycles: u64,
+    /// Pages in the shared template snapshot — paid once per version.
+    pub template_pages: usize,
+    pub mean_parked_pages: f64,
+    pub max_parked_pages: usize,
+    pub mean_peak_pages: f64,
+    pub cow_faults: u64,
+    pub makespan_cycles: u64,
+    pub host_micros: u128,
+}
+
+/// The whole section: the forked sweep plus the isolated baseline run at
+/// the smallest point.
+#[derive(Debug, Clone)]
+pub struct ServerScaleReport {
+    pub quick: bool,
+    pub workload: &'static str,
+    pub config: Config,
+    pub points: Vec<ServerScalePoint>,
+    /// Session count the isolated baseline ran at (the smallest point).
+    pub baseline_sessions: usize,
+    /// Per-session parked pages of an isolated (full private load + setup)
+    /// session — constant per session by construction.
+    pub isolated_mean_parked_pages: f64,
+    /// Ratio of isolated over forked per-session parked pages at the
+    /// largest point (forked mean floored at 0.1 pages so a perfect zero
+    /// still yields a finite ratio).
+    pub resident_improvement: f64,
+    /// Forked and isolated runs produced byte-identical observables.
+    pub observables_match: bool,
+    pub isolated_host_micros: u128,
+}
+
+/// Session counts swept.  `--quick` reaches 10^4 forked sessions in CI
+/// time; the full sweep reaches 10^5.
+pub fn scale_sweep(quick: bool) -> &'static [usize] {
+    if quick {
+        &[1_000, 10_000]
+    } else {
+        &[2_000, 20_000, 100_000]
+    }
+}
+
+const SCALE_FILES: usize = 2;
+const SCALE_RESPONSE: usize = 512;
+
+/// The bursty, zipf-skewed arrival plan for one sweep point.  Bursts are
+/// deliberately hotter than the 4 modelled workers drain in a window, so
+/// the bounded admission queue fills and the shed counter moves.
+fn scale_plan(sessions: usize) -> ArrivalPlan {
+    RequestGen::new(0x5CA1_E000 + sessions as u64).arrival_plan(&ArrivalOptions {
+        sessions,
+        arrivals: (sessions / 4).max(256),
+        zipf: true,
+        window_cycles: 50_000,
+        on_windows: 3,
+        off_windows: 2,
+        on_per_window: 96,
+        off_per_window: 4,
+    })
+}
+
+/// Build the per-session specs for a plan: each session gets its own
+/// private [`World`] and exactly as many requests as the plan sends it.
+fn scale_sessions(plan: &ArrivalPlan, sessions: usize) -> Vec<SessionSpec> {
+    let counts = plan.per_session_counts(sessions);
+    (0..sessions)
+        .map(|id| {
+            let world = nginx::file_world(SCALE_FILES, SCALE_RESPONSE, id as u8);
+            let requests = RequestGen::new(0xF0_5E55 + id as u64).stream(
+                StreamKind::NginxFiles {
+                    files: SCALE_FILES,
+                    response_size: SCALE_RESPONSE,
+                },
+                counts[id],
+            );
+            SessionSpec::new(id, world, requests)
+        })
+        .collect()
+}
+
+fn scale_server() -> (Server, BinaryId) {
+    let load = ServerLoad {
+        sessions: 0,
+        requests_per_session: 0,
+        files: SCALE_FILES,
+        response_size: SCALE_RESPONSE,
+        entries: 0,
+        hit_pct: 0,
+    };
+    server_for("nginx", Config::OurMpx, &load)
+}
+
+fn point_of(sessions: usize, plan: &ArrivalPlan, report: &ScaleReport) -> ServerScalePoint {
+    ServerScalePoint {
+        sessions,
+        arrivals: plan.len(),
+        executed: report.executed,
+        shed: report.metrics.shed,
+        deferred: report.metrics.deferred,
+        windows: report.windows,
+        max_queue_depth: report.metrics.max_queue_depth(),
+        mean_queue_depth: report.metrics.mean_queue_depth(),
+        p99_virtual_cycles: report.metrics.virtual_percentile_milli(990),
+        p999_virtual_cycles: report.metrics.virtual_percentile_milli(999),
+        p999_service_cycles: report.metrics.percentile_milli(999),
+        template_pages: report.resident.template_pages,
+        mean_parked_pages: report.resident.mean_parked_pages,
+        max_parked_pages: report.resident.max_parked_pages,
+        mean_peak_pages: report.resident.mean_peak_pages,
+        cow_faults: report.resident.cow_faults,
+        makespan_cycles: report.makespan_cycles,
+        host_micros: report.host_micros.max(1),
+    }
+}
+
+/// Run the sweep.  Asserts the section's acceptance bounds internally:
+/// the sweep reaches >= 10^4 forked sessions, overload sheds at the
+/// largest point, forked and isolated execution are byte-identical, and
+/// per-session parked residency drops >= 10x versus the isolated baseline.
+pub fn server_scale_report(quick: bool) -> ServerScaleReport {
+    let sweep = scale_sweep(quick);
+    let (server, binary) = scale_server();
+    let sched = SchedulerConfig::default();
+
+    let mut points = Vec::new();
+    let mut baseline_observable: Option<Vec<u8>> = None;
+    for (i, &sessions) in sweep.iter().enumerate() {
+        let plan = scale_plan(sessions);
+        let specs = scale_sessions(&plan, sessions);
+        let forked = server
+            .serve_scaled(binary, &specs, &plan, &sched)
+            .unwrap_or_else(|e| panic!("forked scale run at {sessions} sessions: {e}"));
+        assert_eq!(
+            forked.executed + forked.metrics.shed,
+            plan.len() as u64,
+            "every arrival is either executed or shed"
+        );
+        if i == 0 {
+            baseline_observable = Some(forked.observable());
+        }
+        points.push(point_of(sessions, &plan, &forked));
+    }
+
+    // The per-session-pool baseline: same registry, same version, same plan
+    // — every session spawned as a full private load + setup.
+    let baseline_sessions = sweep[0];
+    let iso_server = Server::new(
+        std::sync::Arc::clone(&server.registry),
+        ServerConfig {
+            pool: PoolOptions {
+                isolate_sessions: true,
+                ..PoolOptions::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    let plan = scale_plan(baseline_sessions);
+    let specs = scale_sessions(&plan, baseline_sessions);
+    let isolated = iso_server
+        .serve_scaled(binary, &specs, &plan, &sched)
+        .unwrap_or_else(|e| panic!("isolated baseline run: {e}"));
+    let observables_match =
+        baseline_observable.as_deref() == Some(isolated.observable().as_slice());
+    assert!(
+        observables_match,
+        "forked and isolated execution must be byte-identical"
+    );
+    assert_eq!(points[0].executed, isolated.executed);
+    assert_eq!(points[0].shed, isolated.metrics.shed);
+
+    let isolated_mean = isolated.resident.mean_parked_pages;
+    let top = points.last().expect("sweep is non-empty");
+    assert!(
+        top.sessions >= 10_000,
+        "the sweep must reach 10^4 concurrent sessions"
+    );
+    assert!(top.shed > 0, "the largest point must demonstrate shedding");
+    for p in &points {
+        assert!(
+            isolated_mean >= 10.0 * p.mean_parked_pages.max(0.1),
+            "forked sessions must park >= 10x fewer private pages than \
+             isolated ones ({} vs {} at {} sessions)",
+            p.mean_parked_pages,
+            isolated_mean,
+            p.sessions
+        );
+    }
+    let resident_improvement = isolated_mean / top.mean_parked_pages.max(0.1);
+
+    ServerScaleReport {
+        quick,
+        workload: "nginx",
+        config: Config::OurMpx,
+        points,
+        baseline_sessions,
+        isolated_mean_parked_pages: isolated_mean,
+        resident_improvement,
+        observables_match,
+        isolated_host_micros: isolated.host_micros.max(1),
+    }
+}
+
+/// Render the section as an aligned text table.
+pub fn render_server_scale(r: &ServerScaleReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== Server scale — CoW session forks + backpressured virtual-time scheduler ({}/{})\n",
+        r.workload,
+        r.config.name()
+    ));
+    out.push_str(&format!(
+        "{:>9}{:>9}{:>9}{:>7}{:>7}{:>8}{:>12}{:>12}{:>12}{:>10}{:>10}\n",
+        "sessions",
+        "arrivals",
+        "executed",
+        "shed",
+        "defer",
+        "queue",
+        "p99v cyc",
+        "p99.9v cyc",
+        "parked pg",
+        "cow flt",
+        "host ms",
+    ));
+    for p in &r.points {
+        out.push_str(&format!(
+            "{:>9}{:>9}{:>9}{:>7}{:>7}{:>8}{:>12}{:>12}{:>12.2}{:>10}{:>10}\n",
+            p.sessions,
+            p.arrivals,
+            p.executed,
+            p.shed,
+            p.deferred,
+            p.max_queue_depth,
+            p.p99_virtual_cycles,
+            p.p999_virtual_cycles,
+            p.mean_parked_pages,
+            p.cow_faults,
+            p.host_micros / 1000,
+        ));
+    }
+    out.push_str(&format!(
+        "   template snapshot      {} pages shared across every session of the version\n",
+        r.points.first().map(|p| p.template_pages).unwrap_or(0)
+    ));
+    out.push_str(&format!(
+        "   isolated baseline      {:.2} parked pages/session at {} sessions -> {:.0}x resident improvement\n",
+        r.isolated_mean_parked_pages, r.baseline_sessions, r.resident_improvement
+    ));
+    out.push_str(&format!(
+        "   equivalence            forked vs isolated observables byte-identical: {}\n",
+        r.observables_match
+    ));
+    out
+}
+
+/// Serialise as the flat scalar JSON the golden diff understands.  Only
+/// `*_host_micros` keys are timing-class; everything else is virtual-time
+/// or page arithmetic and diffs exactly.
+pub fn server_scale_json(r: &ServerScaleReport) -> String {
+    let mut s = String::from("{\n");
+    let mut field = |key: String, value: String, last: bool| {
+        s.push_str(&format!("  \"{key}\": {value}"));
+        s.push_str(if last { "\n" } else { ",\n" });
+    };
+    field("section".into(), "\"server_scale\"".into(), false);
+    field("quick".into(), r.quick.to_string(), false);
+    field("workload".into(), format!("\"{}\"", r.workload), false);
+    field("config".into(), format!("\"{}\"", r.config.name()), false);
+    field("points".into(), r.points.len().to_string(), false);
+    for p in &r.points {
+        let k = format!("scale.{}", p.sessions);
+        field(format!("{k}.sessions"), p.sessions.to_string(), false);
+        field(format!("{k}.arrivals"), p.arrivals.to_string(), false);
+        field(format!("{k}.executed"), p.executed.to_string(), false);
+        field(format!("{k}.shed"), p.shed.to_string(), false);
+        field(format!("{k}.deferred"), p.deferred.to_string(), false);
+        field(format!("{k}.windows"), p.windows.to_string(), false);
+        field(
+            format!("{k}.max_queue_depth"),
+            p.max_queue_depth.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.mean_queue_depth"),
+            format!("{:.3}", p.mean_queue_depth),
+            false,
+        );
+        field(
+            format!("{k}.p99_virtual_cycles"),
+            p.p99_virtual_cycles.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.p999_virtual_cycles"),
+            p.p999_virtual_cycles.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.p999_service_cycles"),
+            p.p999_service_cycles.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.template_pages"),
+            p.template_pages.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.mean_parked_pages"),
+            format!("{:.3}", p.mean_parked_pages),
+            false,
+        );
+        field(
+            format!("{k}.max_parked_pages"),
+            p.max_parked_pages.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.mean_peak_pages"),
+            format!("{:.3}", p.mean_peak_pages),
+            false,
+        );
+        field(format!("{k}.cow_faults"), p.cow_faults.to_string(), false);
+        field(
+            format!("{k}.makespan_cycles"),
+            p.makespan_cycles.to_string(),
+            false,
+        );
+        field(format!("{k}.host_micros"), p.host_micros.to_string(), false);
+    }
+    field(
+        "baseline.sessions".into(),
+        r.baseline_sessions.to_string(),
+        false,
+    );
+    field(
+        "baseline.isolated_mean_parked_pages".into(),
+        format!("{:.3}", r.isolated_mean_parked_pages),
+        false,
+    );
+    field(
+        "baseline.resident_improvement".into(),
+        format!("{:.3}", r.resident_improvement),
+        false,
+    );
+    field(
+        "baseline.observables_match".into(),
+        r.observables_match.to_string(),
+        false,
+    );
+    field(
+        "baseline.isolated_host_micros".into(),
+        r.isolated_host_micros.to_string(),
+        true,
+    );
+    s.push_str("}\n");
+    s
+}
+
+/// Write the scale benchmark JSON atomically (temp file + rename).
+pub fn write_server_scale_json(
+    r: &ServerScaleReport,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let json = server_scale_json(r);
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_reaches_ten_thousand_sessions_and_slashes_residency() {
+        // server_scale_report asserts internally: >= 10^4 sessions, shed
+        // under overload, byte-identical forked vs isolated observables,
+        // >= 10x parked-residency drop at every point.
+        let r = server_scale_report(true);
+        assert_eq!(r.points.len(), scale_sweep(true).len());
+        let top = r.points.last().unwrap();
+        assert!(top.sessions >= 10_000);
+        assert!(top.shed > 0 && top.executed > 0);
+        assert!(top.max_queue_depth > 0, "overload must queue");
+        assert!(
+            top.p999_virtual_cycles >= top.p999_service_cycles,
+            "queueing delay can only lengthen the virtual tail"
+        );
+        assert!(top.cow_faults > 0, "writes must fault pages private");
+        assert!(r.observables_match);
+        assert!(r.resident_improvement >= 10.0);
+    }
+
+    #[test]
+    fn scale_json_round_trips_and_diffs_cleanly_against_itself() {
+        let r = server_scale_report(true);
+        let json = server_scale_json(&r);
+        let errors = crate::diff_bench_json(&json, &json).unwrap();
+        assert!(errors.is_empty(), "{errors:?}");
+        assert!(render_server_scale(&r).contains("10000"));
+    }
+
+    #[test]
+    fn arrival_plans_are_deterministic_per_point() {
+        let a = scale_plan(1_000);
+        let b = scale_plan(1_000);
+        assert_eq!(a.arrivals, b.arrivals);
+        assert!(!a.is_empty());
+    }
+}

@@ -32,7 +32,7 @@ pub use attr::AttrValue;
 pub use export::{
     chrome_trace_json, metrics_json, summary_table, validate_chrome_trace, TraceCheck,
 };
-pub use hist::{exact_percentile, Histogram};
+pub use hist::{exact_percentile, exact_percentile_milli, Histogram};
 pub use json::{parse_json, Json};
 pub use recorder::{recorder, Event, EventKind, Recorder, Span, ThreadEvents, TraceSnapshot};
 

@@ -38,6 +38,13 @@ impl std::fmt::Display for BinaryId {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VersionId(pub(crate) u64);
 
+impl VersionId {
+    /// The raw version number (for labelling output and trace attributes).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 impl std::fmt::Display for VersionId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "version#{}", self.0)

@@ -19,10 +19,19 @@
 //!   [`VerifyCache`](confllvm_verify::VerifyCache) that makes
 //!   re-submitting unchanged content O(1).  See `crates/server/README.md`
 //!   for the full state machine.
-//! * [`pool`] — a pool of warm VM instances.  Each instance is loaded once,
-//!   runs the workload's setup entry point (e.g. `populate` for the directory
-//!   server), and is snapshotted; between requests it is rewound to the
-//!   snapshot in O(dirty pages) instead of paying compile + load + setup.
+//! * [`store`] — the version-keyed [`SnapshotStore`] of fork templates: one
+//!   load (and, when provably session-independent, one setup run) per
+//!   *version*, snapshotted; every session is a copy-on-write
+//!   [`Vm::fork`](confllvm_vm::Vm::fork) of that snapshot.  Templates hold
+//!   registry pins so blue/green hot-swap still drains correctly.
+//! * [`pool`] — per-session warm instances forked from the template.
+//!   Between requests an instance is rewound to its snapshot in O(dirty
+//!   pages) instead of paying compile + load + setup; parked, it keeps only
+//!   its CoW-faulted pages resident.
+//! * [`sched`] — the event-driven scheduler: per-worker run queues with
+//!   work stealing for the real threads, and a deterministic virtual-time
+//!   run loop (bounded admission windows, shed/defer backpressure, EDF
+//!   dispatch) for the 10^4–10^5-session scale experiments.
 //! * [`session`] — requests and per-session state.  Every session carries its
 //!   own [`World`](confllvm_vm::World) (its private passwords / secret
 //!   files), so confidentiality can be tested end-to-end: identical request
@@ -34,11 +43,13 @@
 //!   latency percentiles, executed checks, the split between application
 //!   cycles and U↔T crossing cycles, and measured host time for the
 //!   load-vs-serve interference figures.
-//! * [`runtime`] — the [`Server`]: registry + pools + worker threads
-//!   driving many concurrent sessions, in either [`ExecMode::Cold`]
-//!   (fresh VM + setup per request) or [`ExecMode::Pooled`]
-//!   (snapshot/reset) mode.  Sessions pin the version they start on, so a
-//!   promotion mid-run never swaps a binary under a live session.
+//! * [`runtime`] — the [`Server`]: registry + snapshot store + work-stealing
+//!   worker threads driving many concurrent sessions, in either
+//!   [`ExecMode::Cold`] (fresh VM + setup per request) or
+//!   [`ExecMode::Pooled`] (fork + snapshot/reset) mode, plus
+//!   [`Server::serve_scaled`] for backpressured virtual-time runs.
+//!   Sessions pin the version they start on, so a promotion mid-run never
+//!   swaps a binary under a live session.
 //!
 //! The `server_throughput` and `verify_scale` sections of the `repro`
 //! driver are built on this crate.
@@ -49,7 +60,9 @@ pub mod pool;
 pub mod registry;
 pub mod reqgen;
 pub mod runtime;
+pub mod sched;
 pub mod session;
+pub mod store;
 
 pub use handles::{BinaryId, SessionId, VersionId};
 pub use metrics::{RequestMetrics, StreamMetrics};
@@ -58,6 +71,13 @@ pub use registry::{
     PromoteError, RegisterError, Registry, ServiceBinary, SetupSpec, VerifyPolicy, VersionInfo,
     VersionState,
 };
-pub use reqgen::{RequestGen, StreamKind};
-pub use runtime::{ExecMode, ServeError, Server, ServerConfig, ServiceReport, SessionOutcome};
+pub use reqgen::{ArrivalOptions, RequestGen, StreamKind, ZipfCdf};
+pub use runtime::{
+    ExecMode, ResidentStats, ScaleReport, ServeError, Server, ServerConfig, ServiceReport,
+    SessionOutcome,
+};
+pub use sched::{
+    Arrival, ArrivalPlan, Backpressure, Completion, SchedResult, SchedulerConfig, WorkQueues,
+};
 pub use session::{Request, SessionSpec, SessionSpecBuilder};
+pub use store::{SessionTemplate, SnapshotStore};

@@ -1,19 +1,23 @@
 //! The warm VM instance pool.
 //!
-//! A pooled instance is loaded once, initialised once (its binary's
-//! [`SetupSpec`](crate::registry::SetupSpec) entry runs with the session's
-//! private state installed), and snapshotted.  Serving a request then costs:
-//! rewind to the snapshot in O(dirty pages), queue the request, run the
-//! request entry — compile, load and setup are all skipped.  Instances are
+//! A pooled instance is a copy-on-write fork of its version's
+//! [`SessionTemplate`]: the binary was loaded
+//! once per version, its setup ran once (or per fork when it reads session
+//! state — see the store's module docs), and the resulting snapshot is
+//! shared.  Serving a request then costs: rewind to the snapshot in O(dirty
+//! pages), queue the request, run the request entry — compile, load and
+//! setup are all skipped, and a parked instance's resident footprint is just
+//! its CoW-faulted pages plus registers/heaps/`World`.  Instances are
 //! per-session, so one client's private state never bleeds into another's
 //! VM.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use confllvm_vm::{Outcome, Vm, VmOptions, VmSnapshot, World};
+use confllvm_vm::{Outcome, Vm, VmSnapshot, World};
 
 use crate::handles::SessionId;
-use crate::registry::ServiceBinary;
+use crate::store::SessionTemplate;
 
 /// Cost accounting for the snapshot-restore, in simulated cycles.  Rewinding
 /// is not free on real hardware (madvise/memcpy of the dirtied pages), so the
@@ -24,6 +28,11 @@ use crate::registry::ServiceBinary;
 pub struct PoolOptions {
     pub restore_base_cycles: u64,
     pub restore_per_page_cycles: u64,
+    /// Spawn every session as a full private load + setup instead of a CoW
+    /// fork — the per-session-pool baseline the scale benchmarks quote the
+    /// resident-page drop against.  Observables are identical either way
+    /// (asserted in the runtime tests); only residency and spawn cost move.
+    pub isolate_sessions: bool,
 }
 
 impl Default for PoolOptions {
@@ -33,6 +42,7 @@ impl Default for PoolOptions {
             // page — the same order as a trusted-call crossing.
             restore_base_cycles: 150,
             restore_per_page_cycles: 40,
+            isolate_sessions: false,
         }
     }
 }
@@ -58,12 +68,17 @@ impl std::fmt::Display for SpawnError {
 
 impl std::error::Error for SpawnError {}
 
-/// One warm instance: a loaded VM plus the post-setup snapshot it is rewound
-/// to between requests.
+/// One warm instance: a (usually forked) VM plus the post-setup snapshot it
+/// is rewound to between requests.
 #[derive(Debug)]
 pub struct PooledInstance {
     pub vm: Vm,
-    snapshot: VmSnapshot,
+    snapshot: Arc<VmSnapshot>,
+    /// The session's own world at snapshot time.  The snapshot may be the
+    /// version-wide shared one (whose world is the template's reference
+    /// world), so `reset` restores memory from the snapshot but the world
+    /// from here — private state survives the rewind.
+    world_baseline: World,
     /// Lengths of the observable channels at snapshot time, so per-request
     /// output can be sliced out after each run.
     pub sent_baseline: usize,
@@ -75,24 +90,51 @@ pub struct PooledInstance {
 }
 
 impl PooledInstance {
+    /// Wrap a freshly spawned VM whose current memory state is captured by
+    /// `snapshot`.  The world baseline is taken from the VM itself, not the
+    /// snapshot, so version-wide shared snapshots work (see the field docs).
+    pub(crate) fn new(vm: Vm, snapshot: Arc<VmSnapshot>, setup_cycles: u64) -> Self {
+        let sent_baseline = vm.world.sent.len();
+        let log_baseline = vm.world.log.len();
+        let world_baseline = vm.world.clone();
+        PooledInstance {
+            vm,
+            snapshot,
+            world_baseline,
+            sent_baseline,
+            log_baseline,
+            setup_cycles,
+            resets: 0,
+            pages_restored: 0,
+        }
+    }
+
     /// Rewind to the post-setup snapshot.  Returns (dirty pages restored,
     /// simulated restore cost).
     pub fn reset(&mut self, opts: &PoolOptions) -> (u64, u64) {
         let stats = self.vm.restore(&self.snapshot);
+        // The snapshot's world may be the shared template's; the session's
+        // private state lives in the baseline.
+        self.vm.world = self.world_baseline.clone();
         let dirty = stats.dirty_pages as u64;
         self.resets += 1;
         self.pages_restored += dirty;
         let cost = opts.restore_base_cycles + dirty * opts.restore_per_page_cycles;
         (dirty, cost)
     }
+
+    /// Pages this instance holds privately (CoW-faulted or newly mapped) on
+    /// top of its fork base — the per-session resident cost while parked.
+    pub fn resident_private_pages(&self) -> usize {
+        self.vm.resident_private_pages()
+    }
 }
 
-/// A pool of per-session warm instances of one registered binary.
+/// A pool of per-session warm instances forked from one version's template.
 #[derive(Debug)]
 pub struct VmPool {
-    binary: std::sync::Arc<ServiceBinary>,
-    vm_opts: VmOptions,
-    /// Snapshot-restore cost model.
+    template: Arc<SessionTemplate>,
+    /// Snapshot-restore cost model and spawn policy.
     pub opts: PoolOptions,
     instances: HashMap<SessionId, PooledInstance>,
     /// How many warm instances were ever spawned.
@@ -100,65 +142,43 @@ pub struct VmPool {
 }
 
 impl VmPool {
-    pub fn new(
-        binary: std::sync::Arc<ServiceBinary>,
-        vm_opts: VmOptions,
-        opts: PoolOptions,
-    ) -> Self {
+    pub fn new(template: Arc<SessionTemplate>, opts: PoolOptions) -> Self {
         VmPool {
-            binary,
-            vm_opts,
+            template,
             opts,
             instances: HashMap::new(),
             spawned: 0,
         }
     }
 
-    /// Spawn a fresh (non-pooled) VM with `world` installed and the setup
-    /// entry run — the cold path, and the first step of instance creation.
-    /// Returns the VM and the setup run's simulated cycles.
-    pub fn spawn_cold(&self, world: &World) -> Result<(Vm, u64), SpawnError> {
-        let mut vm = Vm::new(&self.binary.program, self.vm_opts.clone(), world.clone())
-            .map_err(SpawnError::Load)?;
-        let mut setup_cycles = 0;
-        if let Some(setup) = &self.binary.setup {
-            let before = vm.stats.cycles;
-            let result = vm.run_function(&setup.entry, &setup.args);
-            if result.outcome.is_fault() {
-                return Err(SpawnError::Setup {
-                    outcome: result.outcome,
-                });
-            }
-            setup_cycles = vm.stats.cycles - before;
-        }
-        Ok((vm, setup_cycles))
+    /// The template this pool forks from.
+    pub fn template(&self) -> &Arc<SessionTemplate> {
+        &self.template
     }
 
-    /// The warm instance bound to `session`, spawning (load + setup +
-    /// snapshot) on first use.
+    /// Spawn a fresh (non-pooled) VM with `world` installed and the setup
+    /// entry run — the cold path.  Returns the VM and the setup run's
+    /// simulated cycles.
+    pub fn spawn_cold(&self, world: &World) -> Result<(Vm, u64), SpawnError> {
+        self.template.spawn_cold(world)
+    }
+
+    /// The warm instance bound to `session`, spawning (fork + optional
+    /// per-session setup + snapshot, or a fully isolated load when
+    /// [`PoolOptions::isolate_sessions`]) on first use.
     pub fn instance(
         &mut self,
         session: SessionId,
         world: &World,
     ) -> Result<&mut PooledInstance, SpawnError> {
         if !self.instances.contains_key(&session) {
-            let (mut vm, setup_cycles) = self.spawn_cold(world)?;
-            let sent_baseline = vm.world.sent.len();
-            let log_baseline = vm.world.log.len();
-            let snapshot = vm.snapshot();
+            let inst = if self.opts.isolate_sessions {
+                self.template.isolated_instance(world)?
+            } else {
+                self.template.instance(world)?
+            };
             self.spawned += 1;
-            self.instances.insert(
-                session,
-                PooledInstance {
-                    vm,
-                    snapshot,
-                    sent_baseline,
-                    log_baseline,
-                    setup_cycles,
-                    resets: 0,
-                    pages_restored: 0,
-                },
-            );
+            self.instances.insert(session, inst);
         }
         Ok(self.instances.get_mut(&session).expect("just inserted"))
     }
@@ -167,16 +187,37 @@ impl VmPool {
     pub fn live(&self) -> usize {
         self.instances.len()
     }
+
+    /// Iterate over the live instances (order not guaranteed).
+    pub fn instances(&self) -> impl Iterator<Item = (&SessionId, &PooledInstance)> {
+        self.instances.iter()
+    }
+
+    /// Mutable access to every live instance (for parking sweeps).
+    pub fn instances_mut(&mut self) -> impl Iterator<Item = (&SessionId, &mut PooledInstance)> {
+        self.instances.iter_mut()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::registry::{Registry, SetupSpec, VerifyPolicy};
+    use crate::registry::{Registry, ServiceBinary, SetupSpec, VerifyPolicy};
     use confllvm_core::{CompileOptions, Config};
-    use confllvm_workloads::ldap;
+    use confllvm_vm::VmOptions;
+    use confllvm_workloads::{ldap, nginx};
 
-    fn ldap_binary() -> std::sync::Arc<ServiceBinary> {
+    fn template_for(
+        version: crate::handles::VersionId,
+        service: Arc<ServiceBinary>,
+    ) -> Arc<SessionTemplate> {
+        Arc::new(
+            SessionTemplate::build(version, service, VmOptions::default())
+                .expect("template must build"),
+        )
+    }
+
+    fn ldap_template() -> Arc<SessionTemplate> {
         let reg = Registry::new(VerifyPolicy::RequireVerified);
         let opts = CompileOptions {
             config: Config::OurMpx,
@@ -193,7 +234,27 @@ mod tests {
         let binary = reg.binary_id("ldap").unwrap();
         let (version, service) = reg.checkout_active(binary).unwrap();
         reg.release(version);
-        service
+        template_for(version, service)
+    }
+
+    fn nginx_template() -> Arc<SessionTemplate> {
+        let reg = Registry::new(VerifyPolicy::RequireVerified);
+        let opts = CompileOptions {
+            config: Config::OurSeg,
+            entry: nginx::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        reg.deploy_source(
+            "nginx",
+            nginx::SOURCE,
+            &opts,
+            Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
+        )
+        .expect("file server must verify");
+        let binary = reg.binary_id("nginx").unwrap();
+        let (version, service) = reg.checkout_active(binary).unwrap();
+        reg.release(version);
+        template_for(version, service)
     }
 
     fn world() -> World {
@@ -204,8 +265,7 @@ mod tests {
 
     #[test]
     fn warm_instance_serves_repeatedly_after_resets() {
-        let binary = ldap_binary();
-        let mut pool = VmPool::new(binary, VmOptions::default(), PoolOptions::default());
+        let mut pool = VmPool::new(ldap_template(), PoolOptions::default());
         let pool_opts = pool.opts;
         let w = world();
         let inst = pool.instance(SessionId::new(7), &w).unwrap();
@@ -227,8 +287,7 @@ mod tests {
 
     #[test]
     fn sessions_get_distinct_instances_with_their_own_state() {
-        let binary = ldap_binary();
-        let mut pool = VmPool::new(binary, VmOptions::default(), PoolOptions::default());
+        let mut pool = VmPool::new(ldap_template(), PoolOptions::default());
         let pool_opts = pool.opts;
         let mut w1 = World::new();
         w1.set_password("user", b"alpha-password!!");
@@ -254,6 +313,76 @@ mod tests {
         assert_ne!(
             a_resp, b_resp,
             "different private passwords declassify to different ciphertexts"
+        );
+    }
+
+    #[test]
+    fn forked_and_isolated_instances_produce_identical_observables() {
+        let template = ldap_template();
+        // The directory server's populate reads passwords, so its setup runs
+        // per fork — but load-time pages still share.
+        assert!(!template.shared_setup);
+        let mut forked = VmPool::new(Arc::clone(&template), PoolOptions::default());
+        let mut isolated = VmPool::new(
+            template,
+            PoolOptions {
+                isolate_sessions: true,
+                ..Default::default()
+            },
+        );
+        let w = world();
+        for pool in [&mut forked, &mut isolated] {
+            let opts = pool.opts;
+            let inst = pool.instance(SessionId::new(1), &w).unwrap();
+            inst.reset(&opts);
+            let r = inst
+                .vm
+                .run_function(ldap::REQUEST_ENTRY, &[ldap::present_key(2)]);
+            assert_eq!(r.exit_code(), Some(1));
+        }
+        let f = forked.instance(SessionId::new(1), &w).unwrap();
+        let f_out = (f.vm.world.sent.clone(), f.vm.world.log.clone());
+        let i = isolated.instance(SessionId::new(1), &w).unwrap();
+        let i_out = (i.vm.world.sent.clone(), i.vm.world.log.clone());
+        assert_eq!(f_out, i_out, "fork must be byte-identical to isolation");
+    }
+
+    #[test]
+    fn shared_setup_forks_park_with_no_private_pages() {
+        let template = nginx_template();
+        // The file server's setup reads nothing session-private, so its
+        // post-setup state is shared and a freshly parked fork owns nothing.
+        assert!(template.shared_setup);
+        assert!(template.shared_pages() > 0);
+        let mut forked = VmPool::new(Arc::clone(&template), PoolOptions::default());
+        let mut isolated = VmPool::new(
+            template,
+            PoolOptions {
+                isolate_sessions: true,
+                ..Default::default()
+            },
+        );
+        let w = nginx::file_world(2, 256, 1);
+        let mut parked = Vec::new();
+        for pool in [&mut forked, &mut isolated] {
+            let opts = pool.opts;
+            let inst = pool.instance(SessionId::new(1), &w).unwrap();
+            inst.reset(&opts);
+            inst.vm.world.push_request(&nginx::request_bytes(0));
+            let r = inst.vm.run_function(nginx::REQUEST_ENTRY, &[256]);
+            assert_eq!(r.exit_code(), Some(1), "{:?}", r.outcome);
+            assert!(
+                inst.resident_private_pages() > 0,
+                "a running request dirties private pages"
+            );
+            inst.reset(&opts);
+            parked.push(inst.resident_private_pages());
+        }
+        let (f_parked, i_parked) = (parked[0], parked[1]);
+        assert_eq!(f_parked, 0, "parked fork must share everything again");
+        assert!(
+            i_parked > 0,
+            "isolated baseline keeps its whole address space resident"
         );
     }
 }

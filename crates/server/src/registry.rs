@@ -613,6 +613,28 @@ impl Registry {
         ))
     }
 
+    /// Pin `version` directly (without going through the active lookup).
+    /// Used by the snapshot store to keep a session template's version alive
+    /// for the template's lifetime: evicting the template releases the pin,
+    /// which is what lets a drained blue/green cut-over finally retire.
+    /// Returns `false` — and takes no pin — if the version is already
+    /// retired or rejected.  Pair with [`Registry::release`].
+    pub fn pin(&self, version: VersionId) -> bool {
+        let mut inner = self.lock();
+        match inner.versions.get_mut(&version) {
+            Some(entry)
+                if matches!(
+                    entry.state,
+                    VersionState::Active | VersionState::Draining | VersionState::Warm
+                ) =>
+            {
+                entry.pins += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Unpin a session from `version`.  The last release of a
     /// [`VersionState::Draining`] version retires it.
     pub fn release(&self, version: VersionId) {

@@ -8,6 +8,7 @@
 
 use confllvm_workloads::{ldap, nginx};
 
+use crate::sched::{Arrival, ArrivalPlan};
 use crate::session::Request;
 
 /// The request mixes of the serving benchmarks.
@@ -51,6 +52,13 @@ impl RequestGen {
         }
     }
 
+    /// A uniform sample in `[0, 1)` from the top 53 bits — the standard
+    /// bit-exact construction, so samples are byte-identical across hosts.
+    fn next_f64(&mut self) -> f64 {
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+
     /// Generate `count` requests of the given mix.
     pub fn stream(&mut self, kind: StreamKind, count: usize) -> Vec<Request> {
         let mut out = Vec::with_capacity(count);
@@ -80,6 +88,122 @@ impl RequestGen {
             });
         }
         out
+    }
+
+    /// Generate a bursty, popularity-skewed arrival schedule for the scale
+    /// experiments.  Time advances in admission windows; `on_windows`
+    /// windows at `on_per_window` arrivals alternate with `off_windows`
+    /// windows at `off_per_window` (the classic on/off burst model), and
+    /// each arrival picks its session zipfian-skewed (s = 1) or uniformly.
+    /// Request indices are per-session occurrence counters, so a session's
+    /// requests arrive in order and
+    /// [`ArrivalPlan::per_session_counts`] tells the caller exactly how many
+    /// requests to generate per session.
+    pub fn arrival_plan(&mut self, opts: &ArrivalOptions) -> ArrivalPlan {
+        let sessions = opts.sessions.max(1);
+        let window = opts.window_cycles.max(1);
+        let zipf = opts.zipf.then(|| ZipfCdf::new(sessions));
+        let period = (opts.on_windows + opts.off_windows).max(1);
+        let mut counts = vec![0usize; sessions];
+        let mut arrivals = Vec::with_capacity(opts.arrivals);
+        let mut w: u64 = 0;
+        while arrivals.len() < opts.arrivals {
+            let phase = w % period as u64;
+            let k = if phase < opts.on_windows as u64 {
+                opts.on_per_window
+            } else {
+                opts.off_per_window
+            };
+            if opts.on_per_window == 0 && opts.off_per_window == 0 {
+                break; // nothing will ever arrive
+            }
+            let start = w * window;
+            for j in 0..k {
+                if arrivals.len() >= opts.arrivals {
+                    break;
+                }
+                let session = match &zipf {
+                    Some(z) => z.sample(self.next_f64()),
+                    None => self.below(sessions),
+                };
+                let request = counts[session];
+                counts[session] += 1;
+                arrivals.push(Arrival {
+                    // Spread the window's burst evenly across it.
+                    vtime: start + (j as u64 * window) / k as u64,
+                    session,
+                    request,
+                });
+            }
+            w += 1;
+        }
+        ArrivalPlan { arrivals }
+    }
+}
+
+/// Knobs for [`RequestGen::arrival_plan`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalOptions {
+    /// Session population to draw from.
+    pub sessions: usize,
+    /// Total arrivals to generate.
+    pub arrivals: usize,
+    /// Zipfian (s = 1) session popularity instead of uniform.
+    pub zipf: bool,
+    /// Admission-window width in simulated cycles (match the scheduler's).
+    pub window_cycles: u64,
+    /// Burst shape: `on_windows` windows at `on_per_window` arrivals each,
+    /// then `off_windows` at `off_per_window`, repeating.
+    pub on_windows: u32,
+    pub off_windows: u32,
+    pub on_per_window: usize,
+    pub off_per_window: usize,
+}
+
+impl Default for ArrivalOptions {
+    fn default() -> Self {
+        ArrivalOptions {
+            sessions: 64,
+            arrivals: 256,
+            zipf: true,
+            window_cycles: 50_000,
+            on_windows: 2,
+            off_windows: 2,
+            on_per_window: 12,
+            off_per_window: 2,
+        }
+    }
+}
+
+/// Zipfian (s = 1) cumulative distribution over `n` ranks: rank `i` has
+/// weight `1/(i+1)`.  Built from plain additions and one division per rank —
+/// no `powf` — so the table, and therefore every sampled stream, is
+/// byte-identical across platforms (goldens depend on this).
+#[derive(Debug, Clone)]
+pub struct ZipfCdf {
+    cdf: Vec<f64>,
+}
+
+impl ZipfCdf {
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0f64;
+        for i in 0..n {
+            total += 1.0 / (i + 1) as f64;
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfCdf { cdf }
+    }
+
+    /// Map a uniform `u` in `[0, 1)` to a rank (0 = most popular).
+    pub fn sample(&self, u: f64) -> usize {
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
@@ -138,5 +262,60 @@ mod tests {
             let input = r.input.as_ref().unwrap();
             assert!(input.starts_with(b"GET doc") && input.ends_with(b"\0"));
         }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let z = ZipfCdf::new(100);
+        let mut gen = RequestGen::new(11);
+        let mut hits = vec![0usize; 100];
+        for _ in 0..10_000 {
+            hits[z.sample(gen.next_f64())] += 1;
+        }
+        // Rank 0 carries ~1/H(100) ≈ 19% of the mass; uniform would be 1%.
+        assert!(hits[0] > 1500, "rank 0 got {}", hits[0]);
+        assert!(hits[0] > 4 * hits[9].max(1), "zipf tail must fall off");
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(0.999_999_9), 99);
+    }
+
+    #[test]
+    fn arrival_plan_is_deterministic_bursty_and_ordered() {
+        let opts = ArrivalOptions {
+            sessions: 32,
+            arrivals: 200,
+            ..Default::default()
+        };
+        let a = RequestGen::new(5).arrival_plan(&opts);
+        let b = RequestGen::new(5).arrival_plan(&opts);
+        assert_eq!(a.arrivals, b.arrivals, "same seed, same plan");
+        assert_eq!(a.len(), 200);
+        // vtimes non-decreasing; request indices per-session sequential.
+        let mut last = 0;
+        let mut next_req = vec![0usize; 32];
+        for arr in &a.arrivals {
+            assert!(arr.vtime >= last);
+            last = arr.vtime;
+            assert_eq!(arr.request, next_req[arr.session]);
+            next_req[arr.session] += 1;
+        }
+        assert_eq!(
+            a.per_session_counts(32).iter().sum::<usize>(),
+            200,
+            "counts must cover every arrival"
+        );
+        // Bursty: on-windows carry 6x the arrivals of off-windows, so the
+        // per-window arrival counts are not all equal.
+        let window = opts.window_cycles;
+        let mut per_window = std::collections::HashMap::new();
+        for arr in &a.arrivals {
+            *per_window.entry(arr.vtime / window).or_insert(0usize) += 1;
+        }
+        let max = per_window.values().max().unwrap();
+        let min = per_window.values().min().unwrap();
+        assert!(max > min, "on/off phases must differ ({max} vs {min})");
+        // Zipf: the most popular session dominates a uniform share.
+        let counts = a.per_session_counts(32);
+        assert!(counts[0] > 200 / 32 * 2, "rank 0 got {}", counts[0]);
     }
 }

@@ -1,18 +1,27 @@
-//! The service runtime: registry + pools + worker threads.
+//! The service runtime: registry + snapshot store + worker threads.
 //!
 //! [`Server::serve`] drives many concurrent sessions' request streams
 //! against one registered binary, addressed by its [`BinaryId`] handle.
-//! Sessions are partitioned round-robin over worker threads; each worker
-//! owns the VM instances of its sessions (VMs are plain `Send` state,
-//! nothing is shared mutably across workers), so the simulation stays
-//! deterministic per session while the host-side work is genuinely
-//! parallel.
+//! Sessions go into per-worker run queues with work stealing
+//! ([`WorkQueues`]): a worker drains its own queue front-first and, when
+//! empty, steals from a sibling's back — a slow session no longer strands
+//! the sessions queued behind it the way the old static round-robin shards
+//! did.  Each worker owns the VM instances of the sessions it runs (VMs are
+//! plain `Send` state, nothing is shared mutably across workers), so the
+//! simulation stays deterministic per session while the host-side work is
+//! genuinely parallel.
+//!
+//! Per-session VMs are copy-on-write forks of a per-version
+//! [`SessionTemplate`](crate::store::SessionTemplate) kept in the server's
+//! [`SnapshotStore`] — the binary is loaded once per *version*, not per
+//! session or per worker, and sessions share its clean pages.
 //!
 //! Every session *pins* the binary's active version at session start
 //! ([`Registry::checkout_active`]) and releases it when its stream ends, so
 //! a blue/green promotion that lands mid-serve only affects sessions that
 //! start after it — in-flight sessions finish on the version they began
-//! with, and the drained old version retires once the last one ends.
+//! with, and the drained old version retires once the last session ends and
+//! the store sweeps its template.
 //!
 //! Two execution modes make the serving cost model measurable:
 //!
@@ -21,8 +30,16 @@
 //! * [`ExecMode::Pooled`] — per-session warm instances are rewound to their
 //!   post-setup snapshot between requests (O(dirty pages)), the paper's
 //!   many-requests-per-load deployment.
+//!
+//! [`Server::serve_scaled`] is the third entry point: it runs an
+//! [`ArrivalPlan`] through the deterministic virtual-time scheduler
+//! ([`run_virtual`]) over forked instances — bounded admission,
+//! backpressure (shed/defer), EDF dispatch — and reports queueing-aware
+//! latency tails plus per-session resident-page statistics, the 10^4–10^5
+//! session experiment.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,9 +47,11 @@ use confllvm_vm::{Outcome, VmOptions};
 
 use crate::handles::{BinaryId, SessionId, VersionId};
 use crate::metrics::{RequestMetrics, StreamMetrics};
-use crate::pool::{PoolOptions, SpawnError, VmPool};
+use crate::pool::{PoolOptions, PooledInstance, SpawnError, VmPool};
 use crate::registry::Registry;
+use crate::sched::{run_virtual, ArrivalPlan, SchedulerConfig, WorkQueues};
 use crate::session::SessionSpec;
+use crate::store::SnapshotStore;
 
 /// How requests are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -133,6 +152,15 @@ pub enum ServeError {
         /// How the request ended.
         outcome: Outcome,
     },
+    /// A scale run's arrival plan referenced a request the session spec
+    /// does not have (plan and specs must be built from the same
+    /// [`ArrivalPlan::per_session_counts`]).
+    PlanMismatch {
+        /// The session with too few requests.
+        session: SessionId,
+        /// The missing request index.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -151,6 +179,11 @@ impl std::fmt::Display for ServeError {
                 index,
                 outcome,
             } => write!(f, "{session} request {index} failed: {outcome:?}"),
+            ServeError::PlanMismatch { session, index } => write!(
+                f,
+                "{session} has no request {index}: arrival plan and session \
+                 specs disagree"
+            ),
         }
     }
 }
@@ -170,7 +203,9 @@ pub struct SessionOutcome {
     pub id: SessionId,
     /// The version the session was pinned to for its whole stream.
     pub version: VersionId,
-    /// Exit code of each request's entry, in stream order.
+    /// Exit code of each request's entry, in execution order (stream order
+    /// for `serve`; scheduler dispatch order for `serve_scaled`, where shed
+    /// requests never execute).
     pub exit_codes: Vec<i64>,
     /// Bytes this session's requests sent on the network in clear —
     /// attacker-observable.
@@ -207,12 +242,7 @@ impl ServiceReport {
     /// The attacker-observable trace of every session, concatenated in
     /// session order — what the two-run equivalence tests compare.
     pub fn observable(&self) -> Vec<u8> {
-        let mut v = Vec::new();
-        for s in &self.sessions {
-            v.extend_from_slice(&s.sent);
-            v.extend_from_slice(&s.log);
-        }
-        v
+        observable_of(&self.sessions)
     }
 
     /// How many sessions were served by `version` — what the hot-swap
@@ -225,36 +255,103 @@ impl ServiceReport {
     }
 }
 
+fn observable_of(sessions: &[SessionOutcome]) -> Vec<u8> {
+    let mut v = Vec::new();
+    for s in sessions {
+        v.extend_from_slice(&s.sent);
+        v.extend_from_slice(&s.log);
+    }
+    v
+}
+
+/// Per-session resident-memory statistics of a scale run, in 4 KiB pages.
+/// "Parked" is the steady-state footprint of an idle session (measured
+/// after rewinding every instance to its snapshot); "peak" is the largest
+/// footprint any request left behind before its rewind.
+#[derive(Debug, Clone, Default)]
+pub struct ResidentStats {
+    /// Pages in the shared template snapshot — paid once per *version*.
+    pub template_pages: usize,
+    /// Mean private pages per parked session.
+    pub mean_parked_pages: f64,
+    pub max_parked_pages: usize,
+    pub total_parked_pages: usize,
+    /// Mean of each session's peak private-page count.
+    pub mean_peak_pages: f64,
+    /// Copy-on-write faults taken across all sessions.
+    pub cow_faults: u64,
+}
+
+/// The result of a virtual-time scale run ([`Server::serve_scaled`]).
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    pub binary: BinaryId,
+    /// The served binary's name (for display).
+    pub name: String,
+    /// The version the whole run was pinned to.
+    pub version: VersionId,
+    /// Per-session outcomes, sorted by session id.
+    pub sessions: Vec<SessionOutcome>,
+    /// All sessions' metrics merged, including the scheduler's shed/defer
+    /// counters, queue-depth samples and virtual latencies.
+    pub metrics: StreamMetrics,
+    /// Requests executed (arrivals minus shed).
+    pub executed: u64,
+    /// Admission windows the scheduler ran.
+    pub windows: u64,
+    /// Virtual makespan of the run in simulated cycles.
+    pub makespan_cycles: u64,
+    pub resident: ResidentStats,
+    /// Host-side wall time for the whole run, microseconds.
+    pub host_micros: u128,
+}
+
+impl ScaleReport {
+    /// The attacker-observable trace of every session, concatenated in
+    /// session order — compared across forked vs isolated spawn modes.
+    pub fn observable(&self) -> Vec<u8> {
+        observable_of(&self.sessions)
+    }
+}
+
 /// The service runtime.  Shares its [`Registry`] with submitters, so
 /// serving and (re-)registration run concurrently against one source of
-/// truth.
-#[derive(Debug, Default)]
+/// truth; keeps a [`SnapshotStore`] of per-version fork templates.
+#[derive(Debug)]
 pub struct Server {
     /// The shared verify-then-load registry.
     pub registry: Arc<Registry>,
     /// Runtime configuration.
     pub config: ServerConfig,
+    /// Per-version fork templates (pin-counted against the registry).
+    store: SnapshotStore,
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new(Arc::new(Registry::default()), ServerConfig::default())
+    }
 }
 
 impl Server {
     /// A runtime over a shared registry.
     pub fn new(registry: Arc<Registry>, config: ServerConfig) -> Self {
-        Server { registry, config }
+        let store = SnapshotStore::new(Arc::clone(&registry));
+        Server {
+            registry,
+            config,
+            store,
+        }
     }
 
-    /// Serve every session's request stream against `binary`'s active
-    /// version, spreading sessions over worker threads.  Each session pins
-    /// the version active *when it starts* and keeps it for its whole
-    /// stream.
-    pub fn serve(
-        &self,
-        binary: BinaryId,
-        sessions: &[SessionSpec],
-        mode: ExecMode,
-    ) -> Result<ServiceReport, ServeError> {
-        // Fail fast on an unknown handle or an unpromoted binary, before
-        // any worker starts (individual sessions still re-checkout so a
-        // mid-run promotion is picked up by later sessions).
+    /// Fork templates currently held (and versions pinned) by this server.
+    pub fn live_templates(&self) -> usize {
+        self.store.live_templates()
+    }
+
+    /// Fail fast on an unknown handle or an unpromoted binary; returns the
+    /// service name.
+    fn probe(&self, binary: BinaryId) -> Result<String, ServeError> {
         let (_, probe) = self.registry.checkout_active(binary).ok_or_else(|| {
             if self.registry.versions(binary).is_empty() {
                 ServeError::UnknownBinary { binary }
@@ -264,7 +361,23 @@ impl Server {
         })?;
         let name = probe.name.clone();
         self.registry.release(probe.version_id);
+        Ok(name)
+    }
 
+    /// Serve every session's request stream against `binary`'s active
+    /// version, spreading sessions over work-stealing worker threads.  Each
+    /// session pins the version active *when it starts* and keeps it for
+    /// its whole stream.
+    pub fn serve(
+        &self,
+        binary: BinaryId,
+        sessions: &[SessionSpec],
+        mode: ExecMode,
+    ) -> Result<ServiceReport, ServeError> {
+        // Fail fast before any worker starts (individual sessions still
+        // re-checkout so a mid-run promotion is picked up by later
+        // sessions).
+        let name = self.probe(binary)?;
         let mut ids = std::collections::HashSet::new();
         for s in sessions {
             if !ids.insert(s.id) {
@@ -280,36 +393,49 @@ impl Server {
         }
 
         let workers = self.config.workers.max(1).min(sessions.len().max(1));
-        let mut shards: Vec<Vec<SessionSpec>> = (0..workers).map(|_| Vec::new()).collect();
-        for (i, s) in sessions.iter().enumerate() {
-            shards[i % workers].push(s.clone());
-        }
+        let queues = WorkQueues::new(workers, 0..sessions.len());
+        let abort = AtomicBool::new(false);
 
-        let results: Vec<Result<(Vec<SessionOutcome>, u64), ServeError>> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .into_iter()
-                    .map(|shard| {
-                        let registry = Arc::clone(&self.registry);
-                        let vm_opts = self.config.vm.clone();
-                        let pool_opts = self.config.pool;
-                        scope.spawn(move || {
-                            run_shard(&registry, binary, vm_opts, pool_opts, shard, mode, started)
-                        })
+        type WorkerYield = (Vec<(usize, Result<SessionOutcome, ServeError>)>, u64);
+        let results: Vec<WorkerYield> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queues = &queues;
+                    let abort = &abort;
+                    let store = &self.store;
+                    let registry = Arc::clone(&self.registry);
+                    let vm_opts = self.config.vm.clone();
+                    let pool_opts = self.config.pool;
+                    scope.spawn(move || {
+                        run_worker(
+                            w, queues, abort, store, &registry, binary, vm_opts, pool_opts,
+                            sessions, mode, started,
+                        )
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            });
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
 
-        let mut outcomes = Vec::new();
+        let mut outcomes = Vec::with_capacity(sessions.len());
         let mut spawned = 0;
-        for r in results {
-            let (mut session_outcomes, shard_spawned) = r?;
-            outcomes.append(&mut session_outcomes);
-            spawned += shard_spawned;
+        let mut errors: Vec<(usize, ServeError)> = Vec::new();
+        for (worker_outcomes, worker_spawned) in results {
+            spawned += worker_spawned;
+            for (index, r) in worker_outcomes {
+                match r {
+                    Ok(outcome) => outcomes.push(outcome),
+                    Err(e) => errors.push((index, e)),
+                }
+            }
+        }
+        // Retire drained versions whose last session just released.
+        self.store.sweep();
+        if let Some((_, e)) = errors.into_iter().min_by_key(|(i, _)| *i) {
+            return Err(e);
         }
         outcomes.sort_by_key(|s| s.id);
         let mut metrics = StreamMetrics::default();
@@ -330,64 +456,303 @@ impl Server {
             host_micros: started.elapsed().as_micros(),
         })
     }
+
+    /// Run an [`ArrivalPlan`] against `binary` through the deterministic
+    /// virtual-time scheduler: bounded admission windows, shed/defer
+    /// backpressure, EDF dispatch over `sched.model_workers` virtual
+    /// workers.  All sessions fork from the version's shared template (or
+    /// spawn fully isolated under [`PoolOptions::isolate_sessions`] — the
+    /// baseline), and the report carries queueing-aware latency tails plus
+    /// resident-page statistics.
+    ///
+    /// `sessions[i]` must have at least as many requests as the plan sends
+    /// to session `i` (build the specs from
+    /// [`ArrivalPlan::per_session_counts`]).
+    pub fn serve_scaled(
+        &self,
+        binary: BinaryId,
+        sessions: &[SessionSpec],
+        plan: &ArrivalPlan,
+        sched: &SchedulerConfig,
+    ) -> Result<ScaleReport, ServeError> {
+        let rec = confllvm_obs::recorder();
+        let started = Instant::now();
+        let (version, service) = self.registry.checkout_active(binary).ok_or_else(|| {
+            if self.registry.versions(binary).is_empty() {
+                ServeError::UnknownBinary { binary }
+            } else {
+                ServeError::NoActiveVersion { binary }
+            }
+        })?;
+        let name = service.name.clone();
+        let mut span = rec.span("server", "server.scale");
+        let finish = |r: &Registry, store: &SnapshotStore| {
+            r.release(version);
+            store.sweep();
+        };
+
+        let mut vm_opts = self.config.vm.clone();
+        vm_opts.allocator = service.config.allocator();
+        let template = match self.store.template(version, &service, vm_opts) {
+            Ok(t) => t,
+            Err(e) => {
+                finish(&self.registry, &self.store);
+                return Err(e.into());
+            }
+        };
+        let pool_opts = self.config.pool;
+
+        // Fork (or isolate) every session's instance up front — the run
+        // models already-admitted sessions, and admission cost is visible
+        // separately via the fork spans.
+        let mut instances: Vec<PooledInstance> = Vec::with_capacity(sessions.len());
+        for s in sessions {
+            let inst = if pool_opts.isolate_sessions {
+                template.isolated_instance(&s.world)
+            } else {
+                template.instance(&s.world)
+            };
+            match inst {
+                Ok(i) => instances.push(i),
+                Err(e) => {
+                    finish(&self.registry, &self.store);
+                    return Err(e.into());
+                }
+            }
+        }
+
+        let mut outcomes: Vec<SessionOutcome> = sessions
+            .iter()
+            .map(|s| SessionOutcome {
+                id: s.id,
+                version,
+                exit_codes: Vec::new(),
+                sent: Vec::new(),
+                log: Vec::new(),
+                metrics: StreamMetrics::default(),
+            })
+            .collect();
+        let mut peak_pages = vec![0usize; sessions.len()];
+        let mut first_error: Option<ServeError> = None;
+
+        let sched_result = run_virtual(sched, plan, |si, ri| {
+            if first_error.is_some() {
+                return 1; // drain the plan cheaply once the run has failed
+            }
+            let inst = &mut instances[si];
+            let Some(req) = sessions[si].requests.get(ri) else {
+                first_error = Some(ServeError::PlanMismatch {
+                    session: sessions[si].id,
+                    index: ri,
+                });
+                return 1;
+            };
+            let (dirty, restore_cycles) = inst.reset(&pool_opts);
+            if let Some(input) = &req.input {
+                inst.vm.world.push_request(input);
+            }
+            let before = inst.vm.stats.clone();
+            let result = inst.vm.run_function(&req.entry, &req.args);
+            match result.outcome {
+                Outcome::Exit(code) => outcomes[si].exit_codes.push(code),
+                outcome => {
+                    first_error = Some(ServeError::Request {
+                        session: sessions[si].id,
+                        index: ri,
+                        outcome,
+                    });
+                    return 1;
+                }
+            }
+            let mut m = RequestMetrics::from_stats_delta(&before, &inst.vm.stats);
+            m.restore_cycles = restore_cycles;
+            m.dirty_pages = dirty;
+            m.cycles += restore_cycles;
+            outcomes[si].metrics.add(&m);
+            outcomes[si]
+                .sent
+                .extend_from_slice(&inst.vm.world.sent[inst.sent_baseline..]);
+            outcomes[si]
+                .log
+                .extend_from_slice(&inst.vm.world.log[inst.log_baseline..]);
+            peak_pages[si] = peak_pages[si].max(inst.vm.resident_private_pages());
+            m.cycles
+        });
+
+        if let Some(e) = first_error {
+            finish(&self.registry, &self.store);
+            return Err(e);
+        }
+
+        // Park every session (rewind to its snapshot) and measure what an
+        // idle session actually keeps resident.
+        let mut parked: Vec<usize> = Vec::with_capacity(instances.len());
+        let mut cow_faults = 0u64;
+        for inst in &mut instances {
+            inst.reset(&pool_opts);
+            parked.push(inst.resident_private_pages());
+            cow_faults += inst.vm.cow_faults();
+        }
+        let n = parked.len().max(1);
+        let resident = ResidentStats {
+            template_pages: template.shared_pages(),
+            mean_parked_pages: parked.iter().sum::<usize>() as f64 / n as f64,
+            max_parked_pages: parked.iter().copied().max().unwrap_or(0),
+            total_parked_pages: parked.iter().sum(),
+            mean_peak_pages: peak_pages.iter().sum::<usize>() as f64 / n as f64,
+            cow_faults,
+        };
+
+        let mut metrics = StreamMetrics::default();
+        outcomes.sort_by_key(|s| s.id);
+        for o in &outcomes {
+            metrics.merge(&o.metrics);
+        }
+        metrics.shed = sched_result.shed;
+        metrics.deferred = sched_result.deferred;
+        for &d in &sched_result.queue_depth_samples {
+            metrics.record_queue_depth(d);
+        }
+        for c in &sched_result.completions {
+            metrics.add_virtual_latency(c.latency_cycles);
+        }
+
+        if span.active() {
+            span.attr("sessions", sessions.len());
+            span.attr("executed", sched_result.executed);
+            span.attr("shed", sched_result.shed);
+            span.attr("windows", sched_result.windows);
+            span.attr("forked", !pool_opts.isolate_sessions);
+            span.attr("template_pages", resident.template_pages);
+            span.attr("total_parked_pages", resident.total_parked_pages);
+            span.cycles(sched_result.makespan_cycles);
+        }
+        drop(span);
+        finish(&self.registry, &self.store);
+
+        Ok(ScaleReport {
+            binary,
+            name,
+            version,
+            sessions: outcomes,
+            metrics,
+            executed: sched_result.executed,
+            windows: sched_result.windows,
+            makespan_cycles: sched_result.makespan_cycles,
+            resident,
+            host_micros: started.elapsed().as_micros(),
+        })
+    }
 }
 
-/// Run one worker's share of the sessions.  Each session checks out the
-/// active version at its start (pinning it), serves its whole stream on
-/// that version's pool, and releases it at the end — success or failure.
-/// Returns the outcomes plus the number of VMs spawned.
+/// One worker's run loop: pop (or steal) session indices until the queues
+/// drain or a sibling aborts the run.  Each session checks out the active
+/// version at its start (pinning it), serves its whole stream on a pool
+/// forked from that version's template, and releases it at the end —
+/// success or failure.  Returns `(index, outcome)` pairs plus the number of
+/// VMs this worker spawned.
 ///
 /// With the recorder enabled, each session records a `server`-layer span
 /// carrying its pinned version and how long it waited behind earlier
-/// sessions on this worker (`queue_wait_nanos`, measured from `queued_at`,
-/// the instant `serve` sharded the sessions).
-fn run_shard(
+/// sessions (`queue_wait_nanos`, measured from `queued_at`, the instant
+/// `serve` enqueued the sessions), and every stolen pop bumps the
+/// `server.steal` counter.
+/// What one worker hands back: `(session index, outcome)` pairs in the
+/// order it ran them, plus how many VMs it spawned.
+type WorkerOutcomes = (Vec<(usize, Result<SessionOutcome, ServeError>)>, u64);
+
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    worker: usize,
+    queues: &WorkQueues<usize>,
+    abort: &AtomicBool,
+    store: &SnapshotStore,
     registry: &Registry,
     binary: BinaryId,
     vm_opts: VmOptions,
     pool_opts: PoolOptions,
-    shard: Vec<SessionSpec>,
+    sessions: &[SessionSpec],
     mode: ExecMode,
     queued_at: Instant,
-) -> Result<(Vec<SessionOutcome>, u64), ServeError> {
+) -> WorkerOutcomes {
     let rec = confllvm_obs::recorder();
     let mut pools: HashMap<VersionId, VmPool> = HashMap::new();
-    let mut outcomes = Vec::with_capacity(shard.len());
-    let mut spawned = 0u64;
-    for session in &shard {
-        let mut span = rec.span("server", "server.session");
-        let queue_wait_nanos = span.active().then(|| queued_at.elapsed().as_nanos() as u64);
-        let (version, service) = registry
-            .checkout_active(binary)
-            .ok_or(ServeError::NoActiveVersion { binary })?;
-        let pool = pools.entry(version).or_insert_with(|| {
+    let mut outcomes = Vec::new();
+    let mut cold_spawned = 0u64;
+    while !abort.load(Ordering::Relaxed) {
+        let Some((index, stolen)) = queues.pop(worker) else {
+            break;
+        };
+        if stolen {
+            rec.count("server.steal", 1);
+        }
+        let session = &sessions[index];
+        let result = run_one_session(
+            store, registry, binary, &vm_opts, pool_opts, &mut pools, session, mode, queued_at,
+        );
+        if let ExecMode::Cold = mode {
+            cold_spawned += session.requests.len() as u64;
+        }
+        if result.is_err() {
+            abort.store(true, Ordering::Relaxed);
+        }
+        outcomes.push((index, result));
+    }
+    let spawned = match mode {
+        ExecMode::Pooled => pools.values().map(|p| p.spawned).sum(),
+        ExecMode::Cold => cold_spawned,
+    };
+    (outcomes, spawned)
+}
+
+/// Serve one session end to end: checkout → pool lookup (building the
+/// version's template through the store on first use) → stream → release.
+#[allow(clippy::too_many_arguments)]
+fn run_one_session(
+    store: &SnapshotStore,
+    registry: &Registry,
+    binary: BinaryId,
+    vm_opts: &VmOptions,
+    pool_opts: PoolOptions,
+    pools: &mut HashMap<VersionId, VmPool>,
+    session: &SessionSpec,
+    mode: ExecMode,
+    queued_at: Instant,
+) -> Result<SessionOutcome, ServeError> {
+    let rec = confllvm_obs::recorder();
+    let mut span = rec.span("server", "server.session");
+    let queue_wait_nanos = span.active().then(|| queued_at.elapsed().as_nanos() as u64);
+    let (version, service) = registry
+        .checkout_active(binary)
+        .ok_or(ServeError::NoActiveVersion { binary })?;
+    let pool = match pools.entry(version) {
+        std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+        std::collections::hash_map::Entry::Vacant(slot) => {
             let mut opts = vm_opts.clone();
             opts.allocator = service.config.allocator();
-            VmPool::new(service, opts, pool_opts)
-        });
-        let result = match mode {
-            ExecMode::Pooled => run_session_pooled(pool, version, session),
-            ExecMode::Cold => {
-                spawned += session.requests.len() as u64;
-                run_session_cold(pool, version, session)
+            match store.template(version, &service, opts) {
+                Ok(template) => slot.insert(VmPool::new(template, pool_opts)),
+                Err(e) => {
+                    registry.release(version);
+                    return Err(e.into());
+                }
             }
-        };
-        registry.release(version);
-        if span.active() {
-            span.attr("session", session.id.raw());
-            span.attr("version", version.0);
-            span.attr("requests", session.requests.len());
-            span.attr("queue_wait_nanos", queue_wait_nanos.unwrap_or(0));
-            rec.count("server.queue_wait_nanos", queue_wait_nanos.unwrap_or(0));
-            rec.count("server.sessions", 1);
         }
-        drop(span);
-        outcomes.push(result?);
+    };
+    let result = match mode {
+        ExecMode::Pooled => run_session_pooled(pool, version, session),
+        ExecMode::Cold => run_session_cold(pool, version, session),
+    };
+    registry.release(version);
+    if span.active() {
+        span.attr("session", session.id.raw());
+        span.attr("version", version.raw());
+        span.attr("requests", session.requests.len());
+        span.attr("queue_wait_nanos", queue_wait_nanos.unwrap_or(0));
+        rec.count("server.queue_wait_nanos", queue_wait_nanos.unwrap_or(0));
+        rec.count("server.sessions", 1);
     }
-    if mode == ExecMode::Pooled {
-        spawned = pools.values().map(|p| p.spawned).sum();
-    }
-    Ok((outcomes, spawned))
+    result
 }
 
 fn run_session_pooled(
@@ -527,7 +892,8 @@ fn run_session_cold(
 mod tests {
     use super::*;
     use crate::registry::{SetupSpec, VerifyPolicy};
-    use crate::reqgen::{RequestGen, StreamKind};
+    use crate::reqgen::{ArrivalOptions, RequestGen, StreamKind};
+    use crate::sched::Backpressure;
     use confllvm_core::{CompileOptions, Config};
     use confllvm_workloads::{ldap, nginx};
 
@@ -572,6 +938,25 @@ mod tests {
             .collect()
     }
 
+    fn nginx_server() -> (Server, BinaryId) {
+        let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
+        let opts = CompileOptions {
+            config: Config::OurSeg,
+            entry: nginx::SETUP_ENTRY.to_string(),
+            ..Default::default()
+        };
+        registry
+            .deploy_source(
+                "nginx",
+                nginx::SOURCE,
+                &opts,
+                Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
+            )
+            .unwrap();
+        let binary = registry.binary_id("nginx").unwrap();
+        (Server::new(registry, ServerConfig::new()), binary)
+    }
+
     #[test]
     fn pooled_and_cold_agree_on_results_and_observables() {
         let (server, binary) = ldap_server(Config::OurMpx, 32);
@@ -603,22 +988,7 @@ mod tests {
 
     #[test]
     fn nginx_streams_serve_under_all_modes() {
-        let registry = Arc::new(Registry::new(VerifyPolicy::RequireVerified));
-        let opts = CompileOptions {
-            config: Config::OurSeg,
-            entry: nginx::SETUP_ENTRY.to_string(),
-            ..Default::default()
-        };
-        registry
-            .deploy_source(
-                "nginx",
-                nginx::SOURCE,
-                &opts,
-                Some(SetupSpec::new(nginx::SETUP_ENTRY, &[])),
-            )
-            .unwrap();
-        let binary = registry.binary_id("nginx").unwrap();
-        let server = Server::new(registry, ServerConfig::new());
+        let (server, binary) = nginx_server();
         let sessions: Vec<SessionSpec> = (0..2u64)
             .map(|id| {
                 let world = nginx::file_world(3, 512, id as u8);
@@ -713,6 +1083,7 @@ mod tests {
         let sessions = ldap_sessions(2, 3, 32);
         let before = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
         assert_eq!(before.sessions_on(v1), 2);
+        assert_eq!(server.live_templates(), 1, "v1's template is cached");
 
         // Roll the same source as v2 and cut over.
         let opts = CompileOptions {
@@ -733,10 +1104,136 @@ mod tests {
         let after = server.serve(binary, &sessions, ExecMode::Pooled).unwrap();
         assert_eq!(after.sessions_on(v2), 2);
         assert_eq!(after.sessions_on(v1), 0);
+        assert_eq!(
+            server.live_templates(),
+            1,
+            "the sweep evicted v1's template after the cut-over"
+        );
         // Same source, same streams: the swap is observably invisible.
         assert_eq!(before.observable(), after.observable());
         for (x, y) in before.sessions.iter().zip(&after.sessions) {
             assert_eq!(x.exit_codes, y.exit_codes);
         }
+    }
+
+    fn scale_inputs(sessions: usize, arrivals: usize) -> (Vec<SessionSpec>, ArrivalPlan) {
+        let plan = RequestGen::new(9).arrival_plan(&ArrivalOptions {
+            sessions,
+            arrivals,
+            zipf: true,
+            window_cycles: 50_000,
+            on_windows: 2,
+            off_windows: 1,
+            on_per_window: 8,
+            off_per_window: 2,
+        });
+        let specs = plan
+            .per_session_counts(sessions)
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let world = nginx::file_world(2, 256, i as u8);
+                let reqs = RequestGen::new(100 + i as u64).stream(
+                    StreamKind::NginxFiles {
+                        files: 2,
+                        response_size: 256,
+                    },
+                    count,
+                );
+                SessionSpec::new(i, world, reqs)
+            })
+            .collect();
+        (specs, plan)
+    }
+
+    #[test]
+    fn scaled_forked_run_matches_isolated_and_slashes_resident_pages() {
+        let (server, binary) = nginx_server();
+        let (sessions, plan) = scale_inputs(48, 192);
+        let sched = SchedulerConfig::default();
+        let forked = server
+            .serve_scaled(binary, &sessions, &plan, &sched)
+            .unwrap();
+
+        let iso_config = ServerConfig::new().pool(PoolOptions {
+            isolate_sessions: true,
+            ..Default::default()
+        });
+        let iso_server = Server::new(Arc::clone(&server.registry), iso_config);
+        let isolated = iso_server
+            .serve_scaled(binary, &sessions, &plan, &sched)
+            .unwrap();
+
+        // Byte-identical observables and results: CoW forking is invisible
+        // to clients.
+        assert_eq!(forked.observable(), isolated.observable());
+        assert_eq!(forked.executed, isolated.executed);
+        assert_eq!(forked.executed, 192);
+        for (f, i) in forked.sessions.iter().zip(&isolated.sessions) {
+            assert_eq!(f.id, i.id);
+            assert_eq!(f.exit_codes, i.exit_codes);
+        }
+        // Identical costs mean identical schedules, down to the tail.
+        assert_eq!(
+            forked.metrics.virtual_percentile_milli(999),
+            isolated.metrics.virtual_percentile_milli(999)
+        );
+
+        // The residency win: the file server's setup is shareable, so a
+        // parked forked session keeps ~0 private pages while the isolated
+        // baseline keeps its whole address space.
+        assert!(forked.resident.template_pages > 0);
+        assert!(
+            isolated.resident.mean_parked_pages
+                >= 10.0 * forked.resident.mean_parked_pages.max(0.1),
+            "expected >=10x drop: isolated {} vs forked {}",
+            isolated.resident.mean_parked_pages,
+            forked.resident.mean_parked_pages
+        );
+        assert!(forked.resident.cow_faults > 0, "requests must CoW-fault");
+    }
+
+    #[test]
+    fn overload_sheds_and_the_virtual_tail_sees_queueing() {
+        let (server, binary) = nginx_server();
+        let (sessions, plan) = scale_inputs(32, 256);
+        // One slow virtual worker and a tiny queue: a burst must overflow.
+        let sched = SchedulerConfig {
+            model_workers: 1,
+            queue_capacity: 4,
+            backpressure: Backpressure::Shed,
+            slo_cycles: 100_000,
+            window_cycles: 50_000,
+        };
+        let r = server
+            .serve_scaled(binary, &sessions, &plan, &sched)
+            .unwrap();
+        assert!(r.metrics.shed > 0, "overload must shed");
+        assert_eq!(r.executed + r.metrics.shed, 256);
+        assert!(r.metrics.max_queue_depth() > 0);
+        assert!(
+            r.metrics.virtual_percentile_milli(999) > r.metrics.percentile_milli(999),
+            "queueing must push the end-to-end tail above pure service time"
+        );
+        // Deterministic: the same plan yields the same schedule.
+        let r2 = server
+            .serve_scaled(binary, &sessions, &plan, &sched)
+            .unwrap();
+        assert_eq!(r.metrics.shed, r2.metrics.shed);
+        assert_eq!(r.makespan_cycles, r2.makespan_cycles);
+        assert_eq!(r.observable(), r2.observable());
+    }
+
+    #[test]
+    fn scale_plan_mismatch_is_reported_not_panicked() {
+        let (server, binary) = nginx_server();
+        let (mut sessions, plan) = scale_inputs(8, 40);
+        // Drop one session's requests so the plan points past the end.
+        let victim = plan.arrivals[0].session;
+        sessions[victim].requests.clear();
+        let err = server
+            .serve_scaled(binary, &sessions, &plan, &SchedulerConfig::default())
+            .unwrap_err();
+        assert!(matches!(err, ServeError::PlanMismatch { .. }), "{err}");
     }
 }

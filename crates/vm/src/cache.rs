@@ -23,6 +23,14 @@ impl DataCache {
         DataCache::new(32 * 1024, 64, 8)
     }
 
+    /// Smallest possible configuration (one set, one way).  Used when the
+    /// cache model is disabled (`VmOptions::cache_model = false`): the cache
+    /// is never consulted then, and 10^4-10^5 session VMs should not each
+    /// carry a full L1's worth of tag storage.
+    pub fn minimal() -> Self {
+        DataCache::new(64, 64, 1)
+    }
+
     pub fn new(size_bytes: usize, line_bytes: usize, ways: usize) -> Self {
         let lines = size_bytes / line_bytes;
         let sets = (lines / ways).max(1);

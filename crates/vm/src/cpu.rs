@@ -4,6 +4,8 @@
 //! guard regions, the `_chkstk` stack-bounds check — and accounting cycles
 //! with the cost model of [`crate::cost`].
 
+use std::sync::Arc;
+
 use confllvm_machine::{
     trap, AluOp, BndReg, MInst, MemOperand, Program, Reg, RegImm, Taint, ARG_REGS, RET_REG,
 };
@@ -231,9 +233,13 @@ struct ThreadState {
 }
 
 /// The virtual machine.
+///
+/// The decoded [`Image`] is behind an `Arc`: it is immutable after load, so
+/// [`Vm::fork`] shares one decode across every session of a service instead
+/// of re-decoding (or deep-cloning) per session.
 #[derive(Debug)]
 pub struct Vm {
-    pub image: Image,
+    pub image: Arc<Image>,
     pub memory: Memory,
     pub world: World,
     pub opts: VmOptions,
@@ -247,16 +253,62 @@ impl Vm {
     /// Load a program into a fresh VM.
     pub fn new(program: &Program, opts: VmOptions, world: World) -> Result<Vm, LoadError> {
         let loaded = load(program, opts.allocator)?;
+        let cache = if opts.cache_model {
+            DataCache::default_l1()
+        } else {
+            // The cache is never consulted with the model off; keep the
+            // footprint tiny so 10^4-10^5 idle sessions stay cheap.
+            DataCache::minimal()
+        };
         Ok(Vm {
-            image: loaded.image,
+            image: Arc::new(loaded.image),
             memory: loaded.memory,
             world,
             opts,
-            cache: DataCache::default_l1(),
+            cache,
             pub_heap: loaded.pub_heap,
             priv_heap: loaded.priv_heap,
             stats: ExecStats::default(),
         })
+    }
+
+    /// A new session VM forked from `snap`, a snapshot of this VM: the
+    /// decoded image is shared by reference, memory pages are shared
+    /// copy-on-write ([`Memory::fork`]), and the heaps and data cache start
+    /// as clones of the captured state.  The fork gets its own `world` (its
+    /// private external environment) and fresh statistics; the snapshot's
+    /// captured world is deliberately not inherited, since sessions are
+    /// mutually distrusting.
+    ///
+    /// The fork behaves exactly like a freshly loaded VM that replayed the
+    /// same deterministic history `snap` captured — but its resident cost is
+    /// only the pages it goes on to write ([`Memory::resident_private_pages`]).
+    pub fn fork(&self, snap: &VmSnapshot, world: World) -> Vm {
+        let mut span = confllvm_obs::recorder().span("vm", "vm.fork");
+        span.attr("shared_pages", snap.mem.pages());
+        Vm {
+            image: Arc::clone(&self.image),
+            memory: Memory::fork(&snap.mem),
+            world,
+            opts: self.opts.clone(),
+            cache: snap.cache.clone(),
+            pub_heap: snap.pub_heap.clone(),
+            priv_heap: snap.priv_heap.clone(),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Pages this VM's memory materialised privately (written pages for a
+    /// loaded VM; CoW-faulted pages for a fork) — the per-session resident
+    /// memory cost the serving layer reports at scale.
+    pub fn resident_private_pages(&self) -> usize {
+        self.memory.resident_private_pages()
+    }
+
+    /// Writes that copied a shared page private so far (see
+    /// [`Memory::cow_faults`]).
+    pub fn cow_faults(&self) -> u64 {
+        self.memory.cow_faults()
     }
 
     /// Capture the current machine state (memory, heaps, world, cache) so
@@ -894,6 +946,82 @@ mod tests {
         // World fields rewound to their snapshot state.
         assert_eq!(vm.world.log, b"boot".to_vec());
         assert_eq!(vm.run().exit_code(), Some(1), "restore rewound the global");
+    }
+
+    /// main() { return ++counter; } against a global counter — any state
+    /// shared between two VMs running this is immediately visible in the
+    /// exit code.
+    fn counter_program() -> Program {
+        let mut p = tiny_program(Scheme::None);
+        p.insts = vec![
+            MInst::MovGlobal {
+                dst: Reg::Rcx,
+                index: 0,
+            },
+            MInst::Load {
+                dst: Reg::Rax,
+                mem: MemOperand::base(Reg::Rcx),
+                size: 8,
+            },
+            MInst::Alu {
+                op: AluOp::Add,
+                dst: Reg::Rax,
+                src: RegImm::Imm(1),
+            },
+            MInst::Store {
+                mem: MemOperand::base(Reg::Rcx),
+                src: Reg::Rax,
+                size: 8,
+            },
+            MInst::Ret,
+        ];
+        p.globals = vec![confllvm_machine::program::GlobalSpec {
+            name: "counter".into(),
+            size: 8,
+            taint: Taint::Public,
+            init: vec![0; 8],
+        }];
+        p
+    }
+
+    #[test]
+    fn forks_of_one_snapshot_never_observe_each_others_writes() {
+        let p = counter_program();
+        let mut base = Vm::new(&p, VmOptions::default(), World::new()).unwrap();
+        let snap = base.snapshot();
+        let mut f1 = base.fork(&snap, World::new());
+        let mut f2 = base.fork(&snap, World::new());
+        assert_eq!(f1.resident_private_pages(), 0, "a fresh fork owns nothing");
+        assert_eq!(f1.run().exit_code(), Some(1));
+        assert_eq!(f1.run().exit_code(), Some(2));
+        assert_eq!(f2.run().exit_code(), Some(1), "f2 never saw f1's store");
+        assert_eq!(base.run().exit_code(), Some(1), "base untouched by forks");
+        assert!(f1.cow_faults() > 0, "the counter store CoW-faulted");
+        assert!(f1.resident_private_pages() > 0);
+        // Restoring a fork to the shared snapshot releases its private
+        // copies: per-session resident cost returns to zero.
+        f1.restore(&snap);
+        assert_eq!(f1.resident_private_pages(), 0);
+        assert_eq!(f1.run().exit_code(), Some(1), "fork rewound to template");
+    }
+
+    #[test]
+    fn forked_data_caches_are_private_to_each_session() {
+        // If forks shared cache state, f2's first run would hit lines f1
+        // already warmed and report fewer misses than f1's first run did.
+        let p = counter_program();
+        let mut base = Vm::new(&p, VmOptions::default(), World::new()).unwrap();
+        let snap = base.snapshot();
+        let mut f1 = base.fork(&snap, World::new());
+        let mut f2 = base.fork(&snap, World::new());
+        f1.run();
+        let f1_first_run_misses = f1.stats.cache_misses;
+        f1.run(); // warm f1's cache further
+        f2.run();
+        assert_eq!(
+            f2.stats.cache_misses, f1_first_run_misses,
+            "a fork's cache starts from the snapshot state, not a sibling's"
+        );
     }
 
     #[test]

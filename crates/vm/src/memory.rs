@@ -1,15 +1,34 @@
-//! Sparse 64-bit memory with explicit mapped ranges.
+//! Sparse 64-bit memory with explicit mapped ranges and copy-on-write pages.
 //!
 //! Only the usable parts of the public, private and trusted regions are
 //! mapped; everything else — in particular the guard areas between and around
 //! the regions (Figure 3a) — faults on access, exactly like the unmapped
 //! guard pages of the paper.
+//!
+//! Pages are reference-counted (`Arc`) so snapshots and forks share clean
+//! pages instead of copying them:
+//!
+//! * [`Memory::snapshot`] is O(pages) pointer clones — no byte copies.
+//! * [`Memory::fork`] builds a new memory over a snapshot's page table; the
+//!   first write to a shared page copies it private (a CoW fault, counted in
+//!   [`Memory::cow_faults`]), so a forked session's resident cost is its
+//!   *written* working set, not the whole address space.
+//! * [`Memory::restore`] stays O(pages written since the snapshot): dirty
+//!   pages are re-pointed at the snapshot's buffers, releasing the private
+//!   copies.
+//!
+//! The [`Memory::resident_private_pages`] count tracks pages whose backing
+//! buffer this memory materialised itself (created or CoW-copied) — the
+//! per-session memory cost the serving layer's scale sweep reports.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Page size used by the sparse backing store (simulation detail, not
 /// architectural).
 const PAGE_SIZE: u64 = 4096;
+
+type Page = [u8; PAGE_SIZE as usize];
 
 /// A memory access fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,14 +50,17 @@ impl std::fmt::Display for MemFault {
     }
 }
 
-/// A point-in-time copy of memory contents taken by [`Memory::snapshot`].
+/// A point-in-time capture of memory contents taken by [`Memory::snapshot`].
 ///
-/// Restoring is O(pages written since the snapshot), not O(total pages):
-/// after a snapshot the memory tracks which pages are dirtied and
-/// [`Memory::restore`] rewinds only those.
+/// Pages are shared with the capturing memory by reference count, so taking a
+/// snapshot copies no bytes; the memory pays for a page copy only when it
+/// next *writes* a page the snapshot still references.  Restoring is O(pages
+/// written since the snapshot), not O(total pages).  A snapshot can also seed
+/// whole new memories via [`Memory::fork`].
 #[derive(Debug, Clone)]
 pub struct MemSnapshot {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, Arc<Page>>,
+    mapped: Vec<(u64, u64)>,
 }
 
 impl MemSnapshot {
@@ -51,14 +73,23 @@ impl MemSnapshot {
 /// Sparse memory.
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    pages: HashMap<u64, Arc<Page>>,
     /// Mapped (accessible) address ranges, non-overlapping.
     mapped: Vec<(u64, u64)>,
     /// Pages written since the last snapshot/restore (empty when no snapshot
     /// has been taken; tracking costs one hash insert per written page).
     dirty: HashSet<u64>,
-    /// Whether dirty tracking is armed (set by the first `snapshot`).
+    /// Whether dirty tracking is armed (set by the first `snapshot`, or at
+    /// birth for a fork).
     tracking: bool,
+    /// For a fork: the base snapshot's page table, used to tell shared pages
+    /// from privately materialised ones by buffer identity.  Holding the
+    /// `Arc`s (rather than raw pointers) keeps the comparison sound even if
+    /// the base snapshot is dropped.  Empty for a memory that was never
+    /// forked — every page it materialises is its own cost.
+    base: HashMap<u64, Arc<Page>>,
+    /// Writes that had to copy a shared page private.
+    cow_faults: u64,
 }
 
 impl Memory {
@@ -77,22 +108,46 @@ impl Memory {
         self.mapped.iter().any(|(lo, hi)| addr >= *lo && end <= *hi)
     }
 
-    fn page_mut(&mut self, page: u64) -> &mut [u8; PAGE_SIZE as usize] {
+    fn page_mut(&mut self, page: u64) -> &mut Page {
         if self.tracking {
             self.dirty.insert(page);
         }
-        self.pages
+        let slot = self
+            .pages
             .entry(page)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+            .or_insert_with(|| Arc::new([0u8; PAGE_SIZE as usize]));
+        // A buffer still referenced by a snapshot or a fork sibling is
+        // copied private on first write — the CoW fault.
+        if Arc::strong_count(slot) > 1 {
+            self.cow_faults += 1;
+        }
+        Arc::make_mut(slot)
     }
 
     /// Capture the current contents and arm dirty-page tracking, so a later
-    /// [`Memory::restore`] can rewind in O(pages written in between).
+    /// [`Memory::restore`] can rewind in O(pages written in between).  The
+    /// capture itself is O(pages) reference-count bumps — no bytes move.
     pub fn snapshot(&mut self) -> MemSnapshot {
         self.tracking = true;
         self.dirty.clear();
         MemSnapshot {
             pages: self.pages.clone(),
+            mapped: self.mapped.clone(),
+        }
+    }
+
+    /// A new memory sharing every page of `snap` copy-on-write: reads hit the
+    /// shared buffers, the first write to a page copies it private.  The fork
+    /// starts with dirty tracking armed and owns no pages — its resident
+    /// cost grows only with the pages it actually writes.
+    pub fn fork(snap: &MemSnapshot) -> Memory {
+        Memory {
+            pages: snap.pages.clone(),
+            mapped: snap.mapped.clone(),
+            dirty: HashSet::new(),
+            tracking: true,
+            base: snap.pages.clone(),
+            cow_faults: 0,
         }
     }
 
@@ -101,15 +156,17 @@ impl Memory {
     /// dirty pages that were restored.
     ///
     /// Only pages recorded as dirty are touched, so restoring between
-    /// requests of a warm VM costs O(working set of one request).  The
-    /// snapshot must come from this memory (restoring a foreign snapshot
-    /// would miss pages dirtied before it was taken).
+    /// requests of a warm VM costs O(working set of one request).  Restored
+    /// pages re-point at the snapshot's buffers, so private copies made
+    /// since the snapshot are released.  The snapshot must come from this
+    /// memory or from the snapshot this memory was forked from (restoring an
+    /// unrelated snapshot would miss pages dirtied before it was taken).
     pub fn restore(&mut self, snap: &MemSnapshot) -> usize {
         let dirty = std::mem::take(&mut self.dirty);
         for page in &dirty {
             match snap.pages.get(page) {
                 Some(p) => {
-                    self.pages.insert(*page, p.clone());
+                    self.pages.insert(*page, Arc::clone(p));
                 }
                 None => {
                     self.pages.remove(page);
@@ -122,6 +179,26 @@ impl Memory {
     /// Number of pages written since the last snapshot/restore.
     pub fn dirty_pages(&self) -> usize {
         self.dirty.len()
+    }
+
+    /// Pages whose backing buffer this memory materialised itself rather
+    /// than inheriting from its fork base — the per-session resident cost of
+    /// a forked VM.  A page re-pointed at the base's buffer by a restore
+    /// stops counting (the private copy was released).  For a memory that
+    /// was never forked this counts every materialised page.
+    pub fn resident_private_pages(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|(page, buf)| match self.base.get(page) {
+                Some(b) => !Arc::ptr_eq(b, buf),
+                None => true,
+            })
+            .count()
+    }
+
+    /// Writes that had to copy a shared page private so far.
+    pub fn cow_faults(&self) -> u64 {
+        self.cow_faults
     }
 
     /// Read `len` (1..=8) bytes, zero-extended into a u64.
@@ -195,8 +272,8 @@ impl Memory {
         Ok(v)
     }
 
-    /// Number of distinct pages touched so far (a locality proxy reported in
-    /// statistics).
+    /// Number of distinct pages reachable (shared or private — a locality
+    /// proxy reported in statistics).
     pub fn touched_pages(&self) -> usize {
         self.pages.len()
     }
@@ -282,5 +359,116 @@ mod tests {
         m.map_range(0, 2 * 4096);
         m.write(4090, 8, u64::MAX).unwrap();
         assert_eq!(m.read(4090, 8).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_write_copies_page_lazily_and_preserves_the_capture() {
+        let mut m = mem();
+        m.write(0x1000, 8, 7).unwrap();
+        let snap = m.snapshot();
+        // The snapshot shares the buffer; the next write CoW-copies it.
+        assert_eq!(m.cow_faults(), 0);
+        m.write(0x1000, 8, 8).unwrap();
+        assert!(m.cow_faults() >= 1);
+        assert_eq!(m.read(0x1000, 8).unwrap(), 8);
+        m.restore(&snap);
+        assert_eq!(m.read(0x1000, 8).unwrap(), 7, "capture unharmed by CoW");
+    }
+
+    #[test]
+    fn restore_after_restore_rewinds_each_rounds_writes() {
+        // Two restore rounds with different write sets: the second restore
+        // must rewind exactly the second round's pages, including a page the
+        // first round never touched.
+        let mut m = Memory::new();
+        m.map_range(0, 16 * 4096);
+        m.write(0x0, 8, 1).unwrap();
+        let snap = m.snapshot();
+        m.write(0x0, 8, 2).unwrap();
+        assert_eq!(m.restore(&snap), 1);
+        m.write(0x3000, 8, 3).unwrap();
+        m.write(0x7000, 8, 4).unwrap();
+        assert_eq!(m.restore(&snap), 2, "second round tracked independently");
+        assert_eq!(m.read(0x0, 8).unwrap(), 1);
+        assert_eq!(m.read(0x3000, 8).unwrap(), 0);
+        assert_eq!(m.read(0x7000, 8).unwrap(), 0);
+        // And a third round still works after back-to-back restores with no
+        // writes in between.
+        assert_eq!(m.restore(&snap), 0);
+        assert_eq!(m.read(0x0, 8).unwrap(), 1);
+    }
+
+    #[test]
+    fn dirty_write_straddling_a_page_boundary_restores_both_pages() {
+        let mut m = Memory::new();
+        m.map_range(0, 4 * 4096);
+        m.write(4090, 8, 0x1111_2222_3333_4444).unwrap();
+        let snap = m.snapshot();
+        // One 8-byte store spanning pages 0 and 1 dirties both.
+        m.write(4090, 8, u64::MAX).unwrap();
+        assert_eq!(m.dirty_pages(), 2);
+        assert_eq!(m.restore(&snap), 2);
+        assert_eq!(m.read(4090, 8).unwrap(), 0x1111_2222_3333_4444);
+    }
+
+    #[test]
+    fn forks_share_pages_and_never_observe_each_others_writes() {
+        let mut base = Memory::new();
+        base.map_range(0, 8 * 4096);
+        base.write(0x0, 8, 42).unwrap();
+        base.write(0x2000, 8, 43).unwrap();
+        let snap = base.snapshot();
+        let mut f1 = Memory::fork(&snap);
+        let mut f2 = Memory::fork(&snap);
+        assert_eq!(f1.resident_private_pages(), 0, "forks own nothing");
+        assert_eq!(f1.read(0x0, 8).unwrap(), 42, "reads hit shared pages");
+        f1.write(0x0, 8, 100).unwrap();
+        f2.write(0x0, 8, 200).unwrap();
+        assert_eq!(f1.read(0x0, 8).unwrap(), 100);
+        assert_eq!(f2.read(0x0, 8).unwrap(), 200);
+        assert_eq!(base.read(0x0, 8).unwrap(), 42, "base unharmed");
+        assert_eq!(f1.cow_faults(), 1);
+        assert_eq!(f1.resident_private_pages(), 1);
+        assert_eq!(f2.read(0x2000, 8).unwrap(), 43, "untouched page shared");
+    }
+
+    #[test]
+    fn fork_restore_releases_private_copies() {
+        let mut base = Memory::new();
+        base.map_range(0, 8 * 4096);
+        base.write(0x0, 8, 7).unwrap();
+        let snap = base.snapshot();
+        let mut f = Memory::fork(&snap);
+        f.write(0x0, 8, 9).unwrap();
+        f.write(0x5000, 8, 10).unwrap();
+        assert_eq!(f.resident_private_pages(), 2);
+        assert_eq!(f.restore(&snap), 2);
+        assert_eq!(f.resident_private_pages(), 0, "copies released");
+        assert_eq!(f.read(0x0, 8).unwrap(), 7);
+        assert_eq!(f.read(0x5000, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn fork_of_a_forks_snapshot_tracks_ownership_through_restore() {
+        // A fork takes its own snapshot (post-setup); restoring to it must
+        // keep the fork's setup pages owned but release request pages.
+        let mut base = Memory::new();
+        base.map_range(0, 8 * 4096);
+        base.write(0x0, 8, 1).unwrap();
+        let base_snap = base.snapshot();
+        let mut f = Memory::fork(&base_snap);
+        f.write(0x1000, 8, 2).unwrap(); // "setup" page: materialised by the fork
+        let post_setup = f.snapshot();
+        f.write(0x1000, 8, 3).unwrap(); // re-dirty the setup page
+        f.write(0x0, 8, 4).unwrap(); // CoW a base page
+        assert_eq!(f.resident_private_pages(), 2);
+        assert_eq!(f.restore(&post_setup), 2);
+        assert_eq!(f.read(0x1000, 8).unwrap(), 2);
+        assert_eq!(f.read(0x0, 8).unwrap(), 1, "base page rewound");
+        assert_eq!(
+            f.resident_private_pages(),
+            1,
+            "setup page stays owned, the CoW'd base page is released"
+        );
     }
 }

@@ -153,6 +153,7 @@ pub fn call(
         "recv" => {
             let buf = a(1);
             let size = a(2);
+            ctx.world.reads += 1;
             let msg = ctx.world.network_in.pop_front().unwrap_or_default();
             let n = msg.len().min(size as usize);
             ctx.write_buf("recv", buf, &msg[..n], Taint::Public)?;
@@ -170,6 +171,7 @@ pub fn call(
             let fname = ctx.read_name("read_file", a(0))?;
             let buf = a(1);
             let size = a(2);
+            ctx.world.reads += 1;
             let contents = ctx.world.files.get(&fname).cloned().unwrap_or_default();
             let n = contents.len().min(size as usize);
             ctx.write_buf("read_file", buf, &contents[..n], Taint::Public)?;
@@ -179,6 +181,7 @@ pub fn call(
             let fname = ctx.read_name("read_file_secret", a(0))?;
             let buf = a(1);
             let size = a(2);
+            ctx.world.reads += 1;
             let contents = ctx
                 .world
                 .secret_files
@@ -194,6 +197,7 @@ pub fn call(
             let uname = ctx.read_name("read_passwd", a(0))?;
             let buf = a(1);
             let size = a(2);
+            ctx.world.reads += 1;
             let pw = ctx
                 .world
                 .passwords
@@ -281,8 +285,12 @@ pub fn call(
             ok(0, 0)
         }
         // ----- misc ----------------------------------------------------------
-        "rng_next" => ok(ctx.world.next_rand(), 0),
+        "rng_next" => {
+            ctx.world.reads += 1;
+            ok(ctx.world.next_rand(), 0)
+        }
         "get_time" => {
+            ctx.world.reads += 1;
             ctx.world.time += 1;
             ok(ctx.world.time, 0)
         }

@@ -30,6 +30,13 @@ pub struct World {
     pub rng_state: u64,
     /// Monotonic counter returned by `get_time`.
     pub time: i64,
+    /// Number of T calls that *read* world state so far (`recv`,
+    /// `read_file`, `read_file_secret`, `read_passwd`, `rng_next`,
+    /// `get_time`).  The serving layer uses this to detect whether a
+    /// workload's setup entry point depends on per-session state: a setup
+    /// run with zero reads (and no observable output) produced machine state
+    /// every session can share copy-on-write.
+    pub reads: u64,
 }
 
 impl World {
