@@ -19,9 +19,14 @@ use confllvm_server::{
 };
 use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
 
+pub mod interp_speed;
 pub mod server_scale;
 pub mod verify_scale;
 
+pub use interp_speed::{
+    interp_speed_json, interp_speed_report, render_interp_speed, write_interp_speed_json,
+    InterpSpeedReport, InterpSpeedRow,
+};
 pub use server_scale::{
     render_server_scale, server_scale_json, server_scale_report, write_server_scale_json,
     ServerScalePoint, ServerScaleReport,

@@ -22,7 +22,7 @@ use confllvm_bench::*;
 
 /// Every evaluation section: canonical name, legacy flag alias, workload
 /// aliases accepted by `--section`, and a description.
-const SECTIONS: [(&str, &str, &[&str], &str); 11] = [
+const SECTIONS: [(&str, &str, &[&str], &str); 12] = [
     (
         "fig5",
         "--fig5",
@@ -83,6 +83,12 @@ const SECTIONS: [(&str, &str, &[&str], &str); 11] = [
         "--server-scale",
         &["scale"],
         "serving layer at scale: CoW session forks + backpressured virtual-time scheduler, 10^4-10^5 sessions (emits BENCH_server_scale.json)",
+    ),
+    (
+        "interp_speed",
+        "--interp-speed",
+        &["interp"],
+        "block execution engine vs legacy decode-per-step interpreter: host time on SPEC stand-ins + pooled serving mix, asserts >=3x with bit-identical counters (emits BENCH_interp_speed.json)",
     ),
 ];
 
@@ -192,14 +198,19 @@ fn check_trace(path: &str) -> ! {
             std::process::exit(2);
         }
     };
+    // Specific operations a full trace must cover on top of the per-layer
+    // categories: the block engine's one-time translation build.
+    const REQUIRED_SPANS: [&str; 1] = ["vm.translate"];
     match confllvm_obs::validate_chrome_trace(&text) {
         Ok(check) => {
-            let missing = check.missing_categories(&confllvm_obs::LAYERS);
+            let mut missing = check.missing_categories(&confllvm_obs::LAYERS);
+            missing.extend(check.missing_names(&REQUIRED_SPANS));
             if missing.is_empty() {
                 println!(
-                    "trace OK: `{path}` has {} events covering all layers ({})",
+                    "trace OK: `{path}` has {} events covering all layers ({}) and {}",
                     check.events,
-                    confllvm_obs::LAYERS.join(", ")
+                    confllvm_obs::LAYERS.join(", "),
+                    REQUIRED_SPANS.join(", ")
                 );
                 std::process::exit(0);
             }
@@ -382,6 +393,18 @@ fn main() {
         println!("{}", render_server_scale(&report));
         let path = std::path::Path::new("BENCH_server_scale.json");
         match write_server_scale_json(&report, path) {
+            Ok(()) => println!("   wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("interp_speed") {
+        let report = interp_speed_report(quick);
+        println!("{}", render_interp_speed(&report));
+        let path = std::path::Path::new("BENCH_interp_speed.json");
+        match write_interp_speed_json(&report, path) {
             Ok(()) => println!("   wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: writing {}: {e}", path.display());

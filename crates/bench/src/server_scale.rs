@@ -27,8 +27,8 @@
 
 use confllvm_core::Config;
 use confllvm_server::{
-    ArrivalOptions, ArrivalPlan, BinaryId, PoolOptions, RequestGen, ScaleReport, SchedulerConfig,
-    Server, ServerConfig, SessionSpec, StreamKind,
+    ArrivalOptions, ArrivalPlan, BinaryId, ExecMode, PoolOptions, RequestGen, ScaleReport,
+    SchedulerConfig, Server, ServerConfig, SessionSpec, StreamKind,
 };
 use confllvm_workloads::nginx;
 
@@ -80,6 +80,47 @@ pub struct ServerScaleReport {
     /// Forked and isolated runs produced byte-identical observables.
     pub observables_match: bool,
     pub isolated_host_micros: u128,
+    /// Sessions actually completed through the *real-thread*
+    /// [`Server::serve`] path (work-stealing worker threads) — the full
+    /// sweep drives 10^4 live sessions through it; quick runs skip this
+    /// leg (0) to stay inside CI time, where `serve` is covered by the
+    /// throughput section and unit tests instead.
+    pub live_serve_sessions: usize,
+    /// Requests those live sessions completed.
+    pub live_serve_requests: u64,
+    pub live_serve_host_micros: u128,
+}
+
+/// Drive `count` single-request sessions through the real-thread
+/// [`Server::serve`] path and return (sessions completed, requests
+/// completed, host micros).  Every session must exit cleanly.
+fn live_serve_leg(server: &Server, binary: BinaryId, count: usize) -> (usize, u64, u128) {
+    let specs: Vec<SessionSpec> = (0..count)
+        .map(|id| {
+            let world = nginx::file_world(SCALE_FILES, SCALE_RESPONSE, id as u8);
+            let requests = RequestGen::new(0x11FE_5E55 + id as u64).stream(
+                StreamKind::NginxFiles {
+                    files: SCALE_FILES,
+                    response_size: SCALE_RESPONSE,
+                },
+                1,
+            );
+            SessionSpec::new(id, world, requests)
+        })
+        .collect();
+    let report = server
+        .serve(binary, &specs, ExecMode::Pooled)
+        .unwrap_or_else(|e| panic!("live serve leg at {count} sessions: {e}"));
+    assert_eq!(
+        report.sessions.len(),
+        count,
+        "every live session must complete"
+    );
+    (
+        report.sessions.len(),
+        report.metrics.requests,
+        report.host_micros.max(1),
+    )
 }
 
 /// Session counts swept.  `--quick` reaches 10^4 forked sessions in CI
@@ -239,6 +280,20 @@ pub fn server_scale_report(quick: bool) -> ServerScaleReport {
     }
     let resident_improvement = isolated_mean / top.mean_parked_pages.max(0.1);
 
+    // The full sweep additionally exercises the *real-thread* serve path at
+    // 10^4 live sessions — worker threads, work stealing, per-version pools
+    // — so the scale claim is not carried by the virtual-time model alone.
+    let (live_serve_sessions, live_serve_requests, live_serve_host_micros) = if quick {
+        (0, 0, 0)
+    } else {
+        let (s, r, us) = live_serve_leg(&server, binary, 10_000);
+        assert!(
+            s >= 10_000,
+            "the real-thread serve leg must reach 10^4 live sessions"
+        );
+        (s, r, us)
+    };
+
     ServerScaleReport {
         quick,
         workload: "nginx",
@@ -249,6 +304,9 @@ pub fn server_scale_report(quick: bool) -> ServerScaleReport {
         resident_improvement,
         observables_match,
         isolated_host_micros: isolated.host_micros.max(1),
+        live_serve_sessions,
+        live_serve_requests,
+        live_serve_host_micros,
     }
 }
 
@@ -302,6 +360,14 @@ pub fn render_server_scale(r: &ServerScaleReport) -> String {
         "   equivalence            forked vs isolated observables byte-identical: {}\n",
         r.observables_match
     ));
+    if r.live_serve_sessions > 0 {
+        out.push_str(&format!(
+            "   real-thread serve      {} live sessions / {} requests through Server::serve in {} ms\n",
+            r.live_serve_sessions,
+            r.live_serve_requests,
+            r.live_serve_host_micros / 1000
+        ));
+    }
     out
 }
 
@@ -400,11 +466,30 @@ pub fn server_scale_json(r: &ServerScaleReport) -> String {
         r.observables_match.to_string(),
         false,
     );
+    // The real-thread serve leg only runs in the full sweep; quick output
+    // omits the keys entirely so the quick golden stays byte-identical.
     field(
         "baseline.isolated_host_micros".into(),
         r.isolated_host_micros.to_string(),
-        true,
+        r.live_serve_sessions == 0,
     );
+    if r.live_serve_sessions > 0 {
+        field(
+            "live_serve.sessions".into(),
+            r.live_serve_sessions.to_string(),
+            false,
+        );
+        field(
+            "live_serve.requests".into(),
+            r.live_serve_requests.to_string(),
+            false,
+        );
+        field(
+            "live_serve.host_micros".into(),
+            r.live_serve_host_micros.to_string(),
+            true,
+        );
+    }
     s.push_str("}\n");
     s
 }
@@ -456,6 +541,44 @@ mod tests {
         let errors = crate::diff_bench_json(&json, &json).unwrap();
         assert!(errors.is_empty(), "{errors:?}");
         assert!(render_server_scale(&r).contains("10000"));
+    }
+
+    #[test]
+    fn live_serve_leg_completes_every_session_on_real_threads() {
+        let (server, binary) = scale_server();
+        let (sessions, requests, host_micros) = live_serve_leg(&server, binary, 64);
+        assert_eq!(sessions, 64);
+        assert_eq!(requests, 64, "one request per live session");
+        assert!(host_micros > 0);
+    }
+
+    #[test]
+    fn quick_json_omits_the_live_serve_keys() {
+        // A zero leg (what quick runs produce) must omit the keys entirely —
+        // that is what keeps the quick golden byte-identical — while a
+        // non-zero leg emits them.
+        let mut r = ServerScaleReport {
+            quick: true,
+            workload: "nginx",
+            config: Config::OurMpx,
+            points: Vec::new(),
+            baseline_sessions: 0,
+            isolated_mean_parked_pages: 0.0,
+            resident_improvement: 0.0,
+            observables_match: true,
+            isolated_host_micros: 1,
+            live_serve_sessions: 0,
+            live_serve_requests: 0,
+            live_serve_host_micros: 0,
+        };
+        assert!(!server_scale_json(&r).contains("live_serve."));
+        r.live_serve_sessions = 10_000;
+        r.live_serve_requests = 10_000;
+        r.live_serve_host_micros = 1;
+        let json = server_scale_json(&r);
+        assert!(json.contains("\"live_serve.sessions\": 10000"));
+        let errors = crate::diff_bench_json(&json, &json).unwrap();
+        assert!(errors.is_empty(), "{errors:?}");
     }
 
     #[test]

@@ -213,6 +213,9 @@ pub struct TraceCheck {
     pub events: usize,
     /// Events per category (the instrumented layers).
     pub categories: BTreeMap<String, usize>,
+    /// Events per span/instant name, so callers can assert that specific
+    /// operations (e.g. the block-engine's `vm.translate`) are covered.
+    pub names: BTreeMap<String, usize>,
 }
 
 impl TraceCheck {
@@ -222,6 +225,15 @@ impl TraceCheck {
             .iter()
             .filter(|c| !self.categories.contains_key(**c))
             .map(|c| c.to_string())
+            .collect()
+    }
+
+    /// The span/instant names with no events, out of `required`.
+    pub fn missing_names(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|n| !self.names.contains_key(**n))
+            .map(|n| n.to_string())
             .collect()
     }
 }
@@ -251,7 +263,8 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
             .get("cat")
             .and_then(Json::as_str)
             .ok_or_else(|| fail("missing `cat`"))?;
-        e.get("name")
+        let name = e
+            .get("name")
             .and_then(Json::as_str)
             .ok_or_else(|| fail("missing `name`"))?;
         let ts = e
@@ -272,6 +285,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         }
         check.events += 1;
         *check.categories.entry(cat.to_string()).or_insert(0) += 1;
+        *check.names.entry(name.to_string()).or_insert(0) += 1;
     }
     Ok(check)
 }

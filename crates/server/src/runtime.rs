@@ -1204,6 +1204,7 @@ mod tests {
             backpressure: Backpressure::Shed,
             slo_cycles: 100_000,
             window_cycles: 50_000,
+            defer_age_windows: u64::MAX,
         };
         let r = server
             .serve_scaled(binary, &sessions, &plan, &sched)

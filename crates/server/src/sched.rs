@@ -50,6 +50,12 @@ pub struct SchedulerConfig {
     pub slo_cycles: u64,
     /// Admission window width in simulated cycles.
     pub window_cycles: u64,
+    /// Under [`Backpressure::Defer`], how many deferral events one arrival
+    /// may accumulate before it is shed instead of retried (counted as
+    /// `server.defer_aged_shed`).  An unbounded deferred set would otherwise
+    /// retry a sustained overload forever, each retry long past its SLO.
+    /// `u64::MAX` disables aging.
+    pub defer_age_windows: u64,
 }
 
 impl Default for SchedulerConfig {
@@ -60,6 +66,7 @@ impl Default for SchedulerConfig {
             backpressure: Backpressure::Shed,
             slo_cycles: 200_000,
             window_cycles: 50_000,
+            defer_age_windows: u64::MAX,
         }
     }
 }
@@ -123,11 +130,15 @@ pub struct Completion {
 pub struct SchedResult {
     /// Requests actually executed (arrivals minus shed).
     pub executed: u64,
-    /// Arrivals dropped by [`Backpressure::Shed`].
+    /// Arrivals dropped — by [`Backpressure::Shed`] at admission, or by
+    /// deferral aging (also counted separately in `defer_aged_shed`).
     pub shed: u64,
     /// Deferral events under [`Backpressure::Defer`] (one arrival can defer
     /// across several windows and count several times).
     pub deferred: u64,
+    /// Deferred arrivals shed because they aged past
+    /// [`SchedulerConfig::defer_age_windows`] deferral events.
+    pub defer_aged_shed: u64,
     /// Admission windows the loop ran.
     pub windows: u64,
     /// Queue depth sampled once per window, after admission.
@@ -182,7 +193,9 @@ where
     let capacity = cfg.queue_capacity.max(1);
     let mut workers = vec![0u64; cfg.model_workers.max(1)];
     let mut queue: BinaryHeap<Reverse<QueueItem>> = BinaryHeap::new();
-    let mut deferred: VecDeque<QueueItem> = VecDeque::new();
+    // Each deferred item carries how many deferral events it has seen, for
+    // the aging bound.
+    let mut deferred: VecDeque<(QueueItem, u64)> = VecDeque::new();
     let mut result = SchedResult::default();
 
     // Arrivals are admitted in plan order; the seq doubles as the EDF
@@ -199,12 +212,18 @@ where
         // Admit: deferred retries first (they arrived earliest), then new
         // arrivals landing inside this window.
         let mut retries = std::mem::take(&mut deferred);
-        while let Some(item) = retries.pop_front() {
+        while let Some((item, defers)) = retries.pop_front() {
             if queue.len() < capacity {
                 queue.push(Reverse(item));
+            } else if defers >= cfg.defer_age_windows {
+                // Aged out: sustained overload has deferred this arrival
+                // past the bound — shed it instead of retrying forever.
+                result.shed += 1;
+                result.defer_aged_shed += 1;
+                rec.count("server.defer_aged_shed", 1);
             } else {
                 result.deferred += 1;
-                deferred.push_back(item);
+                deferred.push_back((item, defers + 1));
             }
         }
         while next < plan.arrivals.len() && plan.arrivals[next].vtime < window_end {
@@ -227,7 +246,7 @@ where
                     }
                     Backpressure::Defer => {
                         result.deferred += 1;
-                        deferred.push_back(item);
+                        deferred.push_back((item, 1));
                     }
                 }
             }
@@ -334,6 +353,7 @@ mod tests {
             window_cycles: 100,
             slo_cycles: 1000,
             backpressure: Backpressure::Shed,
+            defer_age_windows: u64::MAX,
         };
         let p = plan(&[(0, 0, 0), (10, 1, 0), (250, 0, 1)]);
         let r = run_virtual(&cfg, &p, |_, _| 40);
@@ -354,6 +374,7 @@ mod tests {
             window_cycles: 100,
             slo_cycles: 100,
             backpressure: Backpressure::Shed,
+            defer_age_windows: u64::MAX,
         };
         // Five arrivals in one window; the single worker drains the queue
         // during the window, so admission sees the capacity bound only for
@@ -373,6 +394,7 @@ mod tests {
             window_cycles: 100,
             slo_cycles: 100,
             backpressure: Backpressure::Defer,
+            defer_age_windows: u64::MAX,
         };
         let p = plan(&[(0, 0, 0), (1, 0, 1), (2, 0, 2)]);
         let r = run_virtual(&cfg, &p, |_, _| 50);
@@ -394,6 +416,30 @@ mod tests {
     }
 
     #[test]
+    fn over_age_deferrals_are_shed_and_counted() {
+        let cfg = SchedulerConfig {
+            model_workers: 1,
+            queue_capacity: 1,
+            window_cycles: 100,
+            slo_cycles: 100,
+            backpressure: Backpressure::Defer,
+            defer_age_windows: 2,
+        };
+        // The single worker wedges on a 100k-cycle request, so the queue
+        // stays full for ~1000 windows — far past the 2-deferral age bound.
+        let p = plan(&[(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)]);
+        let r = run_virtual(&cfg, &p, |_, _| 100_000);
+        assert_eq!(r.executed + r.shed, 4, "no arrival may vanish");
+        // Window 0 admits item 0; items 1-3 defer.  The queue drains once per
+        // window, so window 1 re-admits item 1 while items 2 and 3 defer a
+        // second time and age out at window 2.
+        assert_eq!(r.executed, 2);
+        assert_eq!(r.defer_aged_shed, 2, "aged deferrals must be shed: {r:?}");
+        assert_eq!(r.defer_aged_shed, r.shed, "all sheds here come from aging");
+        assert_eq!(r.deferred, 5);
+    }
+
+    #[test]
     fn dispatch_is_earliest_deadline_first() {
         let cfg = SchedulerConfig {
             model_workers: 1,
@@ -401,6 +447,7 @@ mod tests {
             window_cycles: 1000,
             slo_cycles: 10,
             backpressure: Backpressure::Shed,
+            defer_age_windows: u64::MAX,
         };
         // Both in the same window; the later arrival has the earlier
         // deadline? No — deadline = vtime + slo, so arrival order == EDF

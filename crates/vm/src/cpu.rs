@@ -15,6 +15,9 @@ use crate::cache::DataCache;
 use crate::cost::CostModel;
 use crate::loader::{load, Image, LoadError};
 use crate::memory::{MemFault, MemSnapshot, Memory};
+use crate::translate::{
+    Block, BlockTarget, Engine, Op, PostExtern, StaticAcc, Terminator, NO_INDEX,
+};
 use crate::trusted::{self, TrustedCtx, TrustedError};
 use crate::world::World;
 
@@ -29,6 +32,12 @@ pub struct VmOptions {
     pub cost: CostModel,
     /// Model the data cache (adds the cache-miss penalty to loads/stores).
     pub cache_model: bool,
+    /// Which execution engine to use.  [`Engine::Block`] (the default) runs
+    /// the predecoded basic-block translation shared through the image;
+    /// [`Engine::Legacy`] is the decode-per-step reference interpreter kept
+    /// for differential testing.  Both are bit-exact in statistics, faults
+    /// and observables.
+    pub engine: Engine,
 }
 
 impl Default for VmOptions {
@@ -39,6 +48,7 @@ impl Default for VmOptions {
             fuel: 500_000_000,
             cost: CostModel::default(),
             cache_model: true,
+            engine: Engine::Block,
         }
     }
 }
@@ -126,7 +136,11 @@ impl Outcome {
 }
 
 /// Execution statistics (cycle counts are per the configured cost model).
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is part of the execution-engine contract: the differential
+/// suite asserts full equality between [`Engine::Legacy`] and
+/// [`Engine::Block`] runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
     pub instructions: u64,
     pub cycles: u64,
@@ -230,6 +244,12 @@ struct ThreadState {
     last_cmp: (i64, i64),
     pc: usize,
     tid: usize,
+}
+
+/// Result of one [`Vm::step_inst`].
+enum Step {
+    Continue,
+    Done(Outcome),
 }
 
 /// The virtual machine.
@@ -436,7 +456,10 @@ impl Vm {
         if let Err(e) = self.memory.write(t.regs[Reg::Rsp.index()], 8, thunk as u64) {
             return Outcome::Fault(Fault::Memory(e));
         }
-        self.exec_loop(&mut t)
+        match self.opts.engine {
+            Engine::Legacy => self.exec_loop(&mut t),
+            Engine::Block => self.exec_block_loop(&mut t),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -447,6 +470,13 @@ impl Vm {
         self.stats.cycles += cycles;
     }
 
+    /// Model one data access with per-step statistics — the reference
+    /// accounting used by the legacy engine and the block engine's precise
+    /// paths (fall-back stepping, call pushes).  The block engine's
+    /// straight-line loop accounts the same outcomes in register
+    /// accumulators instead ([`Vm::exec_block_ops`]); both are pure
+    /// additions, so the totals agree exactly.
+    #[inline]
     fn data_access(&mut self, addr: u64) {
         if self.opts.cache_model {
             if self.cache.access(addr) {
@@ -459,7 +489,7 @@ impl Vm {
     }
 
     fn ea(&self, t: &ThreadState, mem: &MemOperand) -> u64 {
-        let regs = t.regs;
+        let regs = &t.regs;
         mem.effective_address(
             &|r: Reg| regs[r.index()],
             self.image.fs_base(),
@@ -467,258 +497,861 @@ impl Vm {
         )
     }
 
+    /// The legacy decode-per-step interpreter: one [`Vm::step_inst`] per
+    /// iteration.  Kept selectable ([`Engine::Legacy`]) as the differential
+    /// oracle for the block engine.
     fn exec_loop(&mut self, t: &mut ThreadState) -> Outcome {
-        let cost = self.opts.cost;
+        let image = Arc::clone(&self.image);
         let mut executed: u64 = 0;
         let mut prev_was_muldiv = false;
         loop {
-            if executed >= self.opts.fuel {
-                return Outcome::Fault(Fault::OutOfFuel);
+            match self.step_inst(&image, t, &mut executed, &mut prev_was_muldiv) {
+                Step::Continue => {}
+                Step::Done(outcome) => return outcome,
+            }
+        }
+    }
+
+    /// One interpreter step: fuel check, decode *by reference* (the borrow of
+    /// the `Arc`-cloned image is split from the `&mut self` statistics, so no
+    /// per-step instruction clone is paid), execute, account.  Shared by the
+    /// legacy engine's loop and by the block engine's precise fall-back
+    /// (mid-block entries after an indirect jump, and blocks that could
+    /// exhaust fuel), so both engines step identically at instruction
+    /// granularity.
+    #[inline]
+    fn step_inst(
+        &mut self,
+        image: &Image,
+        t: &mut ThreadState,
+        executed: &mut u64,
+        prev_was_muldiv: &mut bool,
+    ) -> Step {
+        let cost = self.opts.cost;
+        if *executed >= self.opts.fuel {
+            return Step::Done(Outcome::Fault(Fault::OutOfFuel));
+        }
+        *executed += 1;
+        self.stats.instructions += 1;
+        if t.pc >= image.insts.len() {
+            return Step::Done(Outcome::Fault(Fault::InvalidJump { word: t.pc as u64 }));
+        }
+        let inst = &image.insts[t.pc];
+        let mut next_pc = t.pc + 1;
+        let mut this_is_muldiv = false;
+        match inst {
+            MInst::Nop => self.charge(cost.alu),
+            MInst::MovImm { dst, imm } => {
+                t.regs[dst.index()] = *imm as u64;
+                self.charge(cost.mov);
+            }
+            MInst::MovReg { dst, src } => {
+                t.regs[dst.index()] = t.regs[src.index()];
+                self.charge(cost.mov);
+            }
+            MInst::MovGlobal { dst, index } => {
+                let addr = image
+                    .global_addrs
+                    .get(*index as usize)
+                    .copied()
+                    .unwrap_or(0);
+                t.regs[dst.index()] = addr;
+                self.charge(cost.mov);
+            }
+            MInst::MovFunc { dst, index } => {
+                let f = &image.functions[*index as usize];
+                t.regs[dst.index()] = f.magic_word.unwrap_or(f.entry_word) as u64;
+                self.charge(cost.mov);
+            }
+            MInst::Lea { dst, mem } => {
+                t.regs[dst.index()] = self.ea(t, mem);
+                self.charge(cost.lea);
+            }
+            MInst::Alu { op, dst, src } => {
+                let rhs = match src {
+                    RegImm::Reg(r) => t.regs[r.index()] as i64,
+                    RegImm::Imm(i) => *i,
+                };
+                if matches!(op, AluOp::Div | AluOp::Rem) && rhs == 0 {
+                    return Step::Done(Outcome::Fault(Fault::DivZero));
+                }
+                let lhs = t.regs[dst.index()] as i64;
+                t.regs[dst.index()] = op.eval(lhs, rhs) as u64;
+                this_is_muldiv = matches!(op, AluOp::Mul | AluOp::Div | AluOp::Rem);
+                self.charge(cost.alu);
+            }
+            MInst::Cmp { lhs, rhs } => {
+                let r = match rhs {
+                    RegImm::Reg(r) => t.regs[r.index()] as i64,
+                    RegImm::Imm(i) => *i,
+                };
+                t.last_cmp = (t.regs[lhs.index()] as i64, r);
+                self.charge(cost.alu);
+            }
+            MInst::SetCond { dst, cond } => {
+                t.regs[dst.index()] = cond.eval(t.last_cmp.0, t.last_cmp.1) as u64;
+                self.charge(cost.alu);
+            }
+            MInst::Jcc { cond, target } => {
+                self.charge(cost.jump);
+                if cond.eval(t.last_cmp.0, t.last_cmp.1) {
+                    match self.inst_at_word(*target as u64) {
+                        Some(i) => next_pc = i,
+                        None => {
+                            return Step::Done(Outcome::Fault(Fault::InvalidJump {
+                                word: *target as u64,
+                            }))
+                        }
+                    }
+                }
+            }
+            MInst::Jmp { target } => {
+                self.charge(cost.jump);
+                match self.inst_at_word(*target as u64) {
+                    Some(i) => next_pc = i,
+                    None => {
+                        return Step::Done(Outcome::Fault(Fault::InvalidJump {
+                            word: *target as u64,
+                        }))
+                    }
+                }
+            }
+            MInst::JmpReg { reg } => {
+                self.charge(cost.jump);
+                let target = t.regs[reg.index()];
+                match self.inst_at_word(target) {
+                    Some(i) => next_pc = i,
+                    None => return Step::Done(Outcome::Fault(Fault::InvalidJump { word: target })),
+                }
+            }
+            MInst::Load { dst, mem, size } => {
+                let addr = self.ea(t, mem);
+                self.data_access(addr);
+                match self.memory.read(addr, *size as u64) {
+                    Ok(v) => t.regs[dst.index()] = v,
+                    Err(e) => return Step::Done(Outcome::Fault(Fault::Memory(e))),
+                }
+                self.stats.loads += 1;
+                self.charge(cost.load);
+            }
+            MInst::Store { mem, src, size } => {
+                let addr = self.ea(t, mem);
+                self.data_access(addr);
+                if let Err(e) = self.memory.write(addr, *size as u64, t.regs[src.index()]) {
+                    return Step::Done(Outcome::Fault(Fault::Memory(e)));
+                }
+                self.stats.stores += 1;
+                self.charge(cost.store);
+            }
+            MInst::Push { src } => {
+                let rsp = t.regs[Reg::Rsp.index()] - 8;
+                t.regs[Reg::Rsp.index()] = rsp;
+                self.data_access(rsp);
+                if let Err(e) = self.memory.write8(rsp, t.regs[src.index()]) {
+                    return Step::Done(Outcome::Fault(Fault::Memory(e)));
+                }
+                self.charge(cost.push_pop);
+            }
+            MInst::Pop { dst } => {
+                let rsp = t.regs[Reg::Rsp.index()];
+                self.data_access(rsp);
+                match self.memory.read8(rsp) {
+                    Ok(v) => t.regs[dst.index()] = v,
+                    Err(e) => return Step::Done(Outcome::Fault(Fault::Memory(e))),
+                }
+                t.regs[Reg::Rsp.index()] = rsp + 8;
+                self.charge(cost.push_pop);
+            }
+            MInst::BndCheck { bnd, mem, upper } => {
+                let addr = self.ea(t, mem);
+                let (lo, hi) = match bnd {
+                    BndReg::Bnd0 => image.bnd0(),
+                    BndReg::Bnd1 => image.bnd1(),
+                };
+                let violated = if *upper { addr >= hi } else { addr < lo };
+                if violated {
+                    let region = match bnd {
+                        BndReg::Bnd0 => Taint::Public,
+                        BndReg::Bnd1 => Taint::Private,
+                    };
+                    return Step::Done(Outcome::Fault(Fault::Bounds { addr, region }));
+                }
+                self.stats.bound_checks += 1;
+                let c = cost.check_cost(*prev_was_muldiv);
+                self.stats.check_cycles += c;
+                self.charge(c);
+            }
+            MInst::LoadCode { dst, addr } => {
+                let w = t.regs[addr.index()];
+                t.regs[dst.index()] = image.code_words.get(w as usize).copied().unwrap_or(0);
+                self.stats.cfi_checks += 1;
+                self.charge(cost.load_code);
+            }
+            MInst::ChkStk => {
+                let rsp = t.regs[Reg::Rsp.index()];
+                let base = image.layout.thread_stack_base(t.tid);
+                let top = base + image.layout.thread_stack_size;
+                if rsp < base || rsp > top {
+                    return Step::Done(Outcome::Fault(Fault::StackCheck { rsp }));
+                }
+                self.charge(cost.chkstk);
+            }
+            MInst::CallDirect { target } => {
+                self.charge(cost.call);
+                let ret_word = image.word_of[t.pc] + 2;
+                if let Err(e) = self.push_word(t, ret_word as u64) {
+                    return Step::Done(Outcome::Fault(e));
+                }
+                match self.inst_at_word(*target as u64) {
+                    Some(i) => next_pc = i,
+                    None => {
+                        return Step::Done(Outcome::Fault(Fault::InvalidJump {
+                            word: *target as u64,
+                        }))
+                    }
+                }
+            }
+            MInst::CallReg { reg } => {
+                self.charge(cost.call);
+                let target = t.regs[reg.index()];
+                let ret_word = image.word_of[t.pc] + 2;
+                if let Err(e) = self.push_word(t, ret_word as u64) {
+                    return Step::Done(Outcome::Fault(e));
+                }
+                match self.inst_at_word(target) {
+                    Some(i) => next_pc = i,
+                    None => return Step::Done(Outcome::Fault(Fault::InvalidJump { word: target })),
+                }
+            }
+            MInst::Ret => {
+                self.charge(cost.ret);
+                let rsp = t.regs[Reg::Rsp.index()];
+                let word = match self.memory.read8(rsp) {
+                    Ok(v) => v,
+                    Err(e) => return Step::Done(Outcome::Fault(Fault::Memory(e))),
+                };
+                t.regs[Reg::Rsp.index()] = rsp + 8;
+                match self.inst_at_word(word) {
+                    Some(i) => next_pc = i,
+                    None => return Step::Done(Outcome::Fault(Fault::InvalidJump { word })),
+                }
+            }
+            MInst::CallExternal { index } => {
+                match self.call_external(t, *index) {
+                    Ok(()) => {}
+                    Err(f) => return Step::Done(Outcome::Fault(f)),
+                }
+                // Skip (and validate) the return-site magic word the
+                // wrapper would check on the way back into U.
+                if image.cfi {
+                    if let Some(MInst::MagicWord { value }) = image.insts.get(t.pc + 1) {
+                        let spec_ret = image
+                            .externs
+                            .get(*index as usize)
+                            .map(|e| e.ret_taint)
+                            .unwrap_or(Taint::Public);
+                        match image.prefixes.decode_ret(*value) {
+                            Some(rt) if rt == spec_ret => next_pc = t.pc + 2,
+                            _ => return Step::Done(Outcome::Fault(Fault::Cfi)),
+                        }
+                    }
+                }
+            }
+            MInst::MagicWord { value } => {
+                return Step::Done(Outcome::Fault(Fault::ExecutedMagic { word: *value }));
+            }
+            MInst::Trap { code } => {
+                return Step::Done(match *code {
+                    trap::EXIT => Outcome::Exit(t.regs[RET_REG.index()] as i64),
+                    trap::CFI_FAIL => Outcome::Fault(Fault::Cfi),
+                    trap::DIV_ZERO => Outcome::Fault(Fault::DivZero),
+                    _ => Outcome::Fault(Fault::Abort),
+                });
+            }
+        }
+        *prev_was_muldiv = this_is_muldiv;
+        t.pc = next_pc;
+        Step::Continue
+    }
+
+    /// The block engine: dispatch over the image's shared [`BlockCache`].
+    ///
+    /// Whole blocks run with pre-summed accounting; everything the fast path
+    /// cannot charge statically (data-cache effects, extern calls) happens in
+    /// exact program order, and anything irregular — a mid-block indirect
+    /// entry, a block that might exhaust fuel — falls back to
+    /// [`Vm::step_inst`], so statistics, faults and observables are
+    /// bit-identical to [`Engine::Legacy`].
+    fn exec_block_loop(&mut self, t: &mut ThreadState) -> Outcome {
+        let image = Arc::clone(&self.image);
+        let Some(bc) = image.block_cache(self.opts.cost) else {
+            // The shared translation was built under a different cost model;
+            // run the reference interpreter rather than mis-charge.
+            return self.exec_loop(t);
+        };
+        let cost = self.opts.cost;
+        let fuel = self.opts.fuel;
+        let n = image.insts.len();
+        let mut executed: u64 = 0;
+        let mut prev_was_muldiv = false;
+        // Indirect-transfer targets resolved at a block leader (fast
+        // dispatch) vs mid-block (single-step fall-back), reported once per
+        // run as vm.blockcache.{hits,misses}.
+        let mut lookup_hits: u64 = 0;
+        let mut lookup_misses: u64 = 0;
+        // Per-block static costs accumulate in locals (registers) and flush
+        // into `self.stats` once after the loop: every contribution is an
+        // addition and nothing reads the totals mid-run, so the final sums
+        // are identical to the legacy engine's per-step updates.
+        let mut acc_instructions: u64 = 0;
+        let mut acc_cycles: u64 = 0;
+        let mut acc_check_cycles: u64 = 0;
+        let mut acc_loads: u64 = 0;
+        let mut acc_stores: u64 = 0;
+        let mut acc_bound_checks: u64 = 0;
+        let mut acc_cfi_checks: u64 = 0;
+        let mut acc_cache_hits: u64 = 0;
+        let mut acc_cache_misses: u64 = 0;
+        // Static edges carry their target's block index, so the common case
+        // chains block to block without consulting `leader_block`; `NO_INDEX`
+        // means "unknown — look it up" (indirect transfers, fall-back exits).
+        let mut hint: u32 = NO_INDEX;
+        let outcome = 'dispatch: loop {
+            let bi = if hint != NO_INDEX {
+                std::mem::replace(&mut hint, NO_INDEX)
+            } else if t.pc < n {
+                // SAFETY: `leader_block.len() == n` by construction.
+                unsafe { *bc.leader_block.get_unchecked(t.pc) }
+            } else {
+                NO_INDEX
+            };
+            if bi == NO_INDEX {
+                match self.step_inst(&image, t, &mut executed, &mut prev_was_muldiv) {
+                    Step::Continue => continue 'dispatch,
+                    Step::Done(o) => break 'dispatch o,
+                }
+            }
+            // SAFETY: every non-`NO_INDEX` entry of `leader_block` and every
+            // patched static edge holds a valid index into `blocks`.
+            let block = unsafe { bc.blocks.get_unchecked(bi as usize) };
+            if fuel - executed < block.steps {
+                match self.step_inst(&image, t, &mut executed, &mut prev_was_muldiv) {
+                    Step::Continue => continue 'dispatch,
+                    Step::Done(o) => break 'dispatch o,
+                }
+            }
+            // --- straight-line run: live semantics, pre-summed accounting --
+            if let Err((k, fault)) =
+                self.exec_block_ops(&image, t, block, &mut acc_cache_hits, &mut acc_cache_misses)
+            {
+                self.account_block_prefix(&image, block, k, prev_was_muldiv, &cost);
+                break 'dispatch Outcome::Fault(fault);
+            }
+            let straight = block.ops.len() as u64;
+            executed += straight;
+            acc_instructions += straight;
+            let mut cycles = block.cycles;
+            let mut check_cycles = block.check_cycles;
+            if block.first_is_bndcheck && prev_was_muldiv && cost.dual_issue_checks {
+                // The pre-summed totals assume the leading bound check is not
+                // dual-issued; the previous block ended in a mul/div, so it
+                // actually was free.
+                cycles -= cost.bnd_check;
+                check_cycles -= cost.bnd_check;
+            }
+            acc_cycles += cycles;
+            acc_check_cycles += check_cycles;
+            acc_loads += block.loads;
+            acc_stores += block.stores;
+            acc_bound_checks += block.bound_checks;
+            acc_cfi_checks += block.cfi_checks;
+            prev_was_muldiv = block.ends_muldiv;
+            // --- terminator ------------------------------------------------
+            if let Terminator::FallThrough { next, next_block } = &block.term {
+                // Not a step: the next leader continues the straight line,
+                // and the dual-issue state carries across the edge.
+                t.pc = *next as usize;
+                hint = *next_block;
+                continue 'dispatch;
             }
             executed += 1;
-            self.stats.instructions += 1;
-            if t.pc >= self.image.insts.len() {
-                return Outcome::Fault(Fault::InvalidJump { word: t.pc as u64 });
-            }
-            let inst = self.image.insts[t.pc].clone();
-            let mut next_pc = t.pc + 1;
-            let mut this_is_muldiv = false;
-            match inst {
-                MInst::Nop => self.charge(cost.alu),
-                MInst::MovImm { dst, imm } => {
-                    t.regs[dst.index()] = imm as u64;
-                    self.charge(cost.mov);
-                }
-                MInst::MovReg { dst, src } => {
-                    t.regs[dst.index()] = t.regs[src.index()];
-                    self.charge(cost.mov);
-                }
-                MInst::MovGlobal { dst, index } => {
-                    let addr = self
-                        .image
-                        .global_addrs
-                        .get(index as usize)
-                        .copied()
-                        .unwrap_or(0);
-                    t.regs[dst.index()] = addr;
-                    self.charge(cost.mov);
-                }
-                MInst::MovFunc { dst, index } => {
-                    let f = &self.image.functions[index as usize];
-                    t.regs[dst.index()] = f.magic_word.unwrap_or(f.entry_word) as u64;
-                    self.charge(cost.mov);
-                }
-                MInst::Lea { dst, mem } => {
-                    t.regs[dst.index()] = self.ea(t, &mem);
-                    self.charge(cost.lea);
-                }
-                MInst::Alu { op, dst, src } => {
-                    let rhs = match src {
-                        RegImm::Reg(r) => t.regs[r.index()] as i64,
-                        RegImm::Imm(i) => i,
-                    };
-                    if matches!(op, AluOp::Div | AluOp::Rem) && rhs == 0 {
-                        return Outcome::Fault(Fault::DivZero);
+            acc_instructions += 1;
+            prev_was_muldiv = false;
+            match &block.term {
+                Terminator::FallThrough { .. } => unreachable!("handled above"),
+                Terminator::Jmp { target } => {
+                    acc_cycles += cost.jump;
+                    match target {
+                        BlockTarget::Inst { inst, block } => {
+                            t.pc = *inst as usize;
+                            hint = *block;
+                        }
+                        BlockTarget::Invalid(w) => {
+                            break 'dispatch Outcome::Fault(Fault::InvalidJump { word: *w })
+                        }
                     }
-                    let lhs = t.regs[dst.index()] as i64;
-                    t.regs[dst.index()] = op.eval(lhs, rhs) as u64;
-                    this_is_muldiv = matches!(op, AluOp::Mul | AluOp::Div | AluOp::Rem);
-                    self.charge(cost.alu);
                 }
-                MInst::Cmp { lhs, rhs } => {
-                    let r = match rhs {
-                        RegImm::Reg(r) => t.regs[r.index()] as i64,
-                        RegImm::Imm(i) => i,
-                    };
-                    t.last_cmp = (t.regs[lhs.index()] as i64, r);
-                    self.charge(cost.alu);
-                }
-                MInst::SetCond { dst, cond } => {
-                    t.regs[dst.index()] = cond.eval(t.last_cmp.0, t.last_cmp.1) as u64;
-                    self.charge(cost.alu);
-                }
-                MInst::Jcc { cond, target } => {
-                    self.charge(cost.jump);
+                Terminator::Jcc {
+                    cond,
+                    taken,
+                    fall,
+                    fall_block,
+                } => {
+                    acc_cycles += cost.jump;
                     if cond.eval(t.last_cmp.0, t.last_cmp.1) {
-                        match self.inst_at_word(target as u64) {
-                            Some(i) => next_pc = i,
-                            None => {
-                                return Outcome::Fault(Fault::InvalidJump {
-                                    word: target as u64,
-                                })
+                        match taken {
+                            BlockTarget::Inst { inst, block } => {
+                                t.pc = *inst as usize;
+                                hint = *block;
+                            }
+                            BlockTarget::Invalid(w) => {
+                                break 'dispatch Outcome::Fault(Fault::InvalidJump { word: *w })
                             }
                         }
+                    } else {
+                        t.pc = *fall as usize;
+                        hint = *fall_block;
                     }
                 }
-                MInst::Jmp { target } => {
-                    self.charge(cost.jump);
-                    match self.inst_at_word(target as u64) {
-                        Some(i) => next_pc = i,
-                        None => {
-                            return Outcome::Fault(Fault::InvalidJump {
-                                word: target as u64,
-                            })
+                Terminator::JmpReg { reg } => {
+                    acc_cycles += cost.jump;
+                    let word = t.regs[*reg as usize];
+                    match bc.inst_at_word(word) {
+                        Some(i) => {
+                            let b = bc.leader_block[i];
+                            if b != NO_INDEX {
+                                lookup_hits += 1;
+                                hint = b;
+                            } else {
+                                lookup_misses += 1;
+                            }
+                            t.pc = i;
+                        }
+                        None => break 'dispatch Outcome::Fault(Fault::InvalidJump { word }),
+                    }
+                }
+                Terminator::CallDirect { target, ret_word } => {
+                    acc_cycles += cost.call;
+                    if let Err(e) = self.push_word(t, *ret_word) {
+                        break 'dispatch Outcome::Fault(e);
+                    }
+                    match target {
+                        BlockTarget::Inst { inst, block } => {
+                            t.pc = *inst as usize;
+                            hint = *block;
+                        }
+                        BlockTarget::Invalid(w) => {
+                            break 'dispatch Outcome::Fault(Fault::InvalidJump { word: *w })
                         }
                     }
                 }
-                MInst::JmpReg { reg } => {
-                    self.charge(cost.jump);
-                    let target = t.regs[reg.index()];
-                    match self.inst_at_word(target) {
-                        Some(i) => next_pc = i,
-                        None => return Outcome::Fault(Fault::InvalidJump { word: target }),
+                Terminator::CallReg { reg, ret_word } => {
+                    acc_cycles += cost.call;
+                    let word = t.regs[*reg as usize];
+                    if let Err(e) = self.push_word(t, *ret_word) {
+                        break 'dispatch Outcome::Fault(e);
                     }
-                }
-                MInst::Load { dst, mem, size } => {
-                    let addr = self.ea(t, &mem);
-                    self.data_access(addr);
-                    match self.memory.read(addr, size as u64) {
-                        Ok(v) => t.regs[dst.index()] = v,
-                        Err(e) => return Outcome::Fault(Fault::Memory(e)),
-                    }
-                    self.stats.loads += 1;
-                    self.charge(cost.load);
-                }
-                MInst::Store { mem, src, size } => {
-                    let addr = self.ea(t, &mem);
-                    self.data_access(addr);
-                    if let Err(e) = self.memory.write(addr, size as u64, t.regs[src.index()]) {
-                        return Outcome::Fault(Fault::Memory(e));
-                    }
-                    self.stats.stores += 1;
-                    self.charge(cost.store);
-                }
-                MInst::Push { src } => {
-                    let rsp = t.regs[Reg::Rsp.index()] - 8;
-                    t.regs[Reg::Rsp.index()] = rsp;
-                    self.data_access(rsp);
-                    if let Err(e) = self.memory.write(rsp, 8, t.regs[src.index()]) {
-                        return Outcome::Fault(Fault::Memory(e));
-                    }
-                    self.charge(cost.push_pop);
-                }
-                MInst::Pop { dst } => {
-                    let rsp = t.regs[Reg::Rsp.index()];
-                    self.data_access(rsp);
-                    match self.memory.read(rsp, 8) {
-                        Ok(v) => t.regs[dst.index()] = v,
-                        Err(e) => return Outcome::Fault(Fault::Memory(e)),
-                    }
-                    t.regs[Reg::Rsp.index()] = rsp + 8;
-                    self.charge(cost.push_pop);
-                }
-                MInst::BndCheck { bnd, mem, upper } => {
-                    let addr = self.ea(t, &mem);
-                    let (lo, hi) = match bnd {
-                        BndReg::Bnd0 => self.image.bnd0(),
-                        BndReg::Bnd1 => self.image.bnd1(),
-                    };
-                    let violated = if upper { addr >= hi } else { addr < lo };
-                    if violated {
-                        let region = match bnd {
-                            BndReg::Bnd0 => Taint::Public,
-                            BndReg::Bnd1 => Taint::Private,
-                        };
-                        return Outcome::Fault(Fault::Bounds { addr, region });
-                    }
-                    self.stats.bound_checks += 1;
-                    let c = cost.check_cost(prev_was_muldiv);
-                    self.stats.check_cycles += c;
-                    self.charge(c);
-                }
-                MInst::LoadCode { dst, addr } => {
-                    let w = t.regs[addr.index()];
-                    t.regs[dst.index()] =
-                        self.image.code_words.get(w as usize).copied().unwrap_or(0);
-                    self.stats.cfi_checks += 1;
-                    self.charge(cost.load_code);
-                }
-                MInst::ChkStk => {
-                    let rsp = t.regs[Reg::Rsp.index()];
-                    let base = self.image.layout.thread_stack_base(t.tid);
-                    let top = base + self.image.layout.thread_stack_size;
-                    if rsp < base || rsp > top {
-                        return Outcome::Fault(Fault::StackCheck { rsp });
-                    }
-                    self.charge(cost.chkstk);
-                }
-                MInst::CallDirect { target } => {
-                    self.charge(cost.call);
-                    let ret_word = self.image.word_of[t.pc] + 2;
-                    if let Err(e) = self.push_word(t, ret_word as u64) {
-                        return Outcome::Fault(e);
-                    }
-                    match self.inst_at_word(target as u64) {
-                        Some(i) => next_pc = i,
-                        None => {
-                            return Outcome::Fault(Fault::InvalidJump {
-                                word: target as u64,
-                            })
+                    match bc.inst_at_word(word) {
+                        Some(i) => {
+                            let b = bc.leader_block[i];
+                            if b != NO_INDEX {
+                                lookup_hits += 1;
+                                hint = b;
+                            } else {
+                                lookup_misses += 1;
+                            }
+                            t.pc = i;
                         }
+                        None => break 'dispatch Outcome::Fault(Fault::InvalidJump { word }),
                     }
                 }
-                MInst::CallReg { reg } => {
-                    self.charge(cost.call);
-                    let target = t.regs[reg.index()];
-                    let ret_word = self.image.word_of[t.pc] + 2;
-                    if let Err(e) = self.push_word(t, ret_word as u64) {
-                        return Outcome::Fault(e);
-                    }
-                    match self.inst_at_word(target) {
-                        Some(i) => next_pc = i,
-                        None => return Outcome::Fault(Fault::InvalidJump { word: target }),
-                    }
-                }
-                MInst::Ret => {
-                    self.charge(cost.ret);
+                Terminator::Ret => {
+                    acc_cycles += cost.ret;
                     let rsp = t.regs[Reg::Rsp.index()];
-                    let word = match self.memory.read(rsp, 8) {
+                    let word = match self.memory.read8(rsp) {
                         Ok(v) => v,
-                        Err(e) => return Outcome::Fault(Fault::Memory(e)),
+                        Err(e) => break 'dispatch Outcome::Fault(Fault::Memory(e)),
                     };
                     t.regs[Reg::Rsp.index()] = rsp + 8;
-                    match self.inst_at_word(word) {
-                        Some(i) => next_pc = i,
-                        None => return Outcome::Fault(Fault::InvalidJump { word }),
-                    }
-                }
-                MInst::CallExternal { index } => {
-                    match self.call_external(t, index) {
-                        Ok(()) => {}
-                        Err(f) => return Outcome::Fault(f),
-                    }
-                    // Skip (and validate) the return-site magic word the
-                    // wrapper would check on the way back into U.
-                    if self.image.cfi {
-                        if let Some(MInst::MagicWord { value }) = self.image.insts.get(t.pc + 1) {
-                            let spec_ret = self
-                                .image
-                                .externs
-                                .get(index as usize)
-                                .map(|e| e.ret_taint)
-                                .unwrap_or(Taint::Public);
-                            match self.image.prefixes.decode_ret(*value) {
-                                Some(rt) if rt == spec_ret => next_pc = t.pc + 2,
-                                _ => return Outcome::Fault(Fault::Cfi),
+                    match bc.inst_at_word(word) {
+                        Some(i) => {
+                            let b = bc.leader_block[i];
+                            if b != NO_INDEX {
+                                lookup_hits += 1;
+                                hint = b;
+                            } else {
+                                lookup_misses += 1;
                             }
+                            t.pc = i;
                         }
+                        None => break 'dispatch Outcome::Fault(Fault::InvalidJump { word }),
                     }
                 }
-                MInst::MagicWord { value } => {
-                    return Outcome::Fault(Fault::ExecutedMagic { word: value });
+                Terminator::CallExternal { index, post } => {
+                    if let Err(f) = self.call_external(t, *index) {
+                        break 'dispatch Outcome::Fault(f);
+                    }
+                    match post {
+                        PostExtern::Next { inst, block } => {
+                            t.pc = *inst as usize;
+                            hint = *block;
+                        }
+                        PostExtern::CfiFault => break 'dispatch Outcome::Fault(Fault::Cfi),
+                    }
                 }
-                MInst::Trap { code } => {
-                    return match code {
+                Terminator::Magic { value } => {
+                    break 'dispatch Outcome::Fault(Fault::ExecutedMagic { word: *value });
+                }
+                Terminator::Trap { code } => {
+                    break 'dispatch match *code {
                         trap::EXIT => Outcome::Exit(t.regs[RET_REG.index()] as i64),
                         trap::CFI_FAIL => Outcome::Fault(Fault::Cfi),
                         trap::DIV_ZERO => Outcome::Fault(Fault::DivZero),
                         _ => Outcome::Fault(Fault::Abort),
                     };
                 }
+                Terminator::OffEnd => {
+                    // The legacy engine counts the phantom step past the end
+                    // of the stream and faults with the off-end index.
+                    break 'dispatch Outcome::Fault(Fault::InvalidJump {
+                        word: (block.start as usize + block.ops.len()) as u64,
+                    });
+                }
             }
-            prev_was_muldiv = this_is_muldiv;
-            t.pc = next_pc;
+        };
+        self.stats.instructions += acc_instructions;
+        self.stats.cycles += acc_cycles;
+        self.stats.check_cycles += acc_check_cycles;
+        self.stats.loads += acc_loads;
+        self.stats.stores += acc_stores;
+        self.stats.bound_checks += acc_bound_checks;
+        self.stats.cfi_checks += acc_cfi_checks;
+        self.stats.cache_hits += acc_cache_hits;
+        self.stats.cache_misses += acc_cache_misses;
+        self.stats.cycles += acc_cache_misses * cost.cache_miss;
+        if lookup_hits > 0 || lookup_misses > 0 {
+            let rec = confllvm_obs::recorder();
+            rec.count("vm.blockcache.hits", lookup_hits);
+            rec.count("vm.blockcache.misses", lookup_misses);
         }
+        outcome
+    }
+
+    /// Execute a block's predecoded straight-line ops with live semantics but
+    /// deferred static accounting.  Dynamic cache effects ([`Vm::data_access`])
+    /// are applied in exact program order, so the simulated data cache ends in
+    /// the same state as under the legacy engine.  On a fault, returns the op
+    /// offset so the caller can re-sum the executed prefix per instruction.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_block_ops(
+        &mut self,
+        image: &Image,
+        t: &mut ThreadState,
+        block: &Block,
+        acc_cache_hits: &mut u64,
+        acc_cache_misses: &mut u64,
+    ) -> Result<(), (usize, Fault)> {
+        let rsp_slot = Reg::Rsp.index();
+        // Hoisted so each access is a flag test, not a method call that
+        // re-reads the options through `&mut self`.
+        let cache_on = self.opts.cache_model;
+        let ops = &block.ops[..];
+        let mut k = 0;
+        while k < ops.len() {
+            // SAFETY: `k < ops.len()` is the loop condition; fused arms only
+            // advance `k` past the shadowed slots the translator gave them.
+            let op = unsafe { ops.get_unchecked(k) };
+            match op {
+                Op::Nop => {}
+                Op::MovImm { dst, imm } => t.regs[*dst as usize & 15] = *imm,
+                Op::MovReg { dst, src } => t.regs[*dst as usize & 15] = t.regs[*src as usize & 15],
+                Op::MovConst { dst, value } => t.regs[*dst as usize & 15] = *value,
+                Op::Lea { dst, mem } => t.regs[*dst as usize & 15] = mem.ea(&t.regs),
+                Op::AluReg { op, dst, src } => {
+                    let rhs = t.regs[*src as usize & 15] as i64;
+                    if matches!(op, AluOp::Div | AluOp::Rem) && rhs == 0 {
+                        return Err((k, Fault::DivZero));
+                    }
+                    let lhs = t.regs[*dst as usize & 15] as i64;
+                    t.regs[*dst as usize & 15] = op.eval(lhs, rhs) as u64;
+                }
+                Op::AluImm { op, dst, imm } => {
+                    if matches!(op, AluOp::Div | AluOp::Rem) && *imm == 0 {
+                        return Err((k, Fault::DivZero));
+                    }
+                    let lhs = t.regs[*dst as usize & 15] as i64;
+                    t.regs[*dst as usize & 15] = op.eval(lhs, *imm) as u64;
+                }
+                Op::CmpReg { lhs, rhs } => {
+                    t.last_cmp = (
+                        t.regs[*lhs as usize & 15] as i64,
+                        t.regs[*rhs as usize & 15] as i64,
+                    );
+                }
+                Op::CmpImm { lhs, imm } => {
+                    t.last_cmp = (t.regs[*lhs as usize & 15] as i64, *imm);
+                }
+                Op::SetCond { dst, cond } => {
+                    t.regs[*dst as usize & 15] = cond.eval(t.last_cmp.0, t.last_cmp.1) as u64;
+                }
+                Op::Load8 { dst, mem } => {
+                    let addr = mem.ea(&t.regs);
+                    if cache_on {
+                        if self.cache.access(addr) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    match self.memory.read8(addr) {
+                        Ok(v) => t.regs[*dst as usize & 15] = v,
+                        Err(e) => return Err((k, Fault::Memory(e))),
+                    }
+                }
+                Op::Store8 { src, mem } => {
+                    let addr = mem.ea(&t.regs);
+                    if cache_on {
+                        if self.cache.access(addr) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    if let Err(e) = self.memory.write8(addr, t.regs[*src as usize & 15]) {
+                        return Err((k, Fault::Memory(e)));
+                    }
+                }
+                Op::Load { dst, mem, size } => {
+                    let addr = mem.ea(&t.regs);
+                    if cache_on {
+                        if self.cache.access(addr) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    match self.memory.read(addr, *size as u64) {
+                        Ok(v) => t.regs[*dst as usize & 15] = v,
+                        Err(e) => return Err((k, Fault::Memory(e))),
+                    }
+                }
+                Op::Store { src, mem, size } => {
+                    let addr = mem.ea(&t.regs);
+                    if cache_on {
+                        if self.cache.access(addr) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    if let Err(e) =
+                        self.memory
+                            .write(addr, *size as u64, t.regs[*src as usize & 15])
+                    {
+                        return Err((k, Fault::Memory(e)));
+                    }
+                }
+                Op::Push { src } => {
+                    let rsp = t.regs[rsp_slot] - 8;
+                    t.regs[rsp_slot] = rsp;
+                    if cache_on {
+                        if self.cache.access(rsp) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    if let Err(e) = self.memory.write8(rsp, t.regs[*src as usize & 15]) {
+                        return Err((k, Fault::Memory(e)));
+                    }
+                }
+                Op::Pop { dst } => {
+                    let rsp = t.regs[rsp_slot];
+                    if cache_on {
+                        if self.cache.access(rsp) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    match self.memory.read8(rsp) {
+                        Ok(v) => t.regs[*dst as usize & 15] = v,
+                        Err(e) => return Err((k, Fault::Memory(e))),
+                    }
+                    t.regs[rsp_slot] = rsp + 8;
+                }
+                Op::BndCheck {
+                    mem,
+                    bound,
+                    upper,
+                    region,
+                } => {
+                    let addr = mem.ea(&t.regs);
+                    let violated = if *upper {
+                        addr >= *bound
+                    } else {
+                        addr < *bound
+                    };
+                    if violated {
+                        return Err((
+                            k,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                }
+                Op::CheckedLoad8 {
+                    dst,
+                    mem,
+                    lo,
+                    hi,
+                    region,
+                } => {
+                    let addr = mem.ea(&t.regs);
+                    if addr < *lo {
+                        return Err((
+                            k,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                    if addr >= *hi {
+                        return Err((
+                            k + 1,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                    if cache_on {
+                        if self.cache.access(addr) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    match self.memory.read8(addr) {
+                        Ok(v) => t.regs[*dst as usize & 15] = v,
+                        Err(e) => return Err((k + 2, Fault::Memory(e))),
+                    }
+                    k += 2;
+                }
+                Op::CheckedStore8 {
+                    src,
+                    mem,
+                    lo,
+                    hi,
+                    region,
+                } => {
+                    let addr = mem.ea(&t.regs);
+                    if addr < *lo {
+                        return Err((
+                            k,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                    if addr >= *hi {
+                        return Err((
+                            k + 1,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                    if cache_on {
+                        if self.cache.access(addr) {
+                            *acc_cache_hits += 1;
+                        } else {
+                            *acc_cache_misses += 1;
+                        }
+                    }
+                    if let Err(e) = self.memory.write8(addr, t.regs[*src as usize & 15]) {
+                        return Err((k + 2, Fault::Memory(e)));
+                    }
+                    k += 2;
+                }
+                Op::CheckPair {
+                    mem,
+                    lo,
+                    hi,
+                    region,
+                } => {
+                    let addr = mem.ea(&t.regs);
+                    if addr < *lo {
+                        return Err((
+                            k,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                    if addr >= *hi {
+                        return Err((
+                            k + 1,
+                            Fault::Bounds {
+                                addr,
+                                region: *region,
+                            },
+                        ));
+                    }
+                    k += 1;
+                }
+                Op::LoadCode { dst, addr } => {
+                    let w = t.regs[*addr as usize & 15];
+                    t.regs[*dst as usize & 15] =
+                        image.code_words.get(w as usize).copied().unwrap_or(0);
+                }
+                Op::ChkStk => {
+                    let rsp = t.regs[rsp_slot];
+                    let base = image.layout.thread_stack_base(t.tid);
+                    let top = base + image.layout.thread_stack_size;
+                    if rsp < base || rsp > top {
+                        return Err((k, Fault::StackCheck { rsp }));
+                    }
+                }
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Legacy-identical accounting for a block that faulted at straight-line
+    /// offset `k`: the completed prefix contributes its static costs; the
+    /// faulting instruction counts as executed but charges nothing (the
+    /// legacy engine faults before charging the class cost).  Faults are
+    /// terminal, so the O(k) re-walk happens at most once per run.
+    fn account_block_prefix(
+        &mut self,
+        image: &Image,
+        block: &Block,
+        k: usize,
+        entry_muldiv: bool,
+        cost: &CostModel,
+    ) {
+        self.stats.instructions += k as u64 + 1;
+        let start = block.start as usize;
+        let mut acc = StaticAcc::default();
+        let mut prev = entry_muldiv;
+        for inst in &image.insts[start..start + k] {
+            prev = crate::translate::accumulate_static(inst, cost, prev, &mut acc);
+        }
+        self.stats.cycles += acc.cycles;
+        self.stats.check_cycles += acc.check_cycles;
+        self.stats.loads += acc.loads;
+        self.stats.stores += acc.stores;
+        self.stats.bound_checks += acc.bound_checks;
+        self.stats.cfi_checks += acc.cfi_checks;
     }
 
     fn inst_at_word(&self, word: u64) -> Option<usize> {
@@ -732,7 +1365,7 @@ impl Vm {
         let rsp = t.regs[Reg::Rsp.index()] - 8;
         t.regs[Reg::Rsp.index()] = rsp;
         self.data_access(rsp);
-        self.memory.write(rsp, 8, value).map_err(Fault::Memory)
+        self.memory.write8(rsp, value).map_err(Fault::Memory)
     }
 
     fn call_external(&mut self, t: &mut ThreadState, index: u16) -> Result<(), Fault> {

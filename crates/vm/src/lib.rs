@@ -10,6 +10,9 @@
 //!   heaps and stacks, set the bounds/segment registers),
 //! * [`cpu`] — the interpreter, enforcing MPX bound registers, segment bases,
 //!   `_chkstk`, and magic-word semantics, with cycle accounting,
+//! * [`translate`] — the basic-block translation behind the fast
+//!   [`cpu::VmOptions::engine`] (`Engine::Block`) dispatch loop, shared by
+//!   all forks of an image,
 //! * [`cache`] / [`cost`] — the cost model (simulated cycles, small L1 data
 //!   cache),
 //! * [`alloc`] — the two heap allocators (system bump vs the ConfLLVM
@@ -25,6 +28,7 @@ pub mod cost;
 pub mod cpu;
 pub mod loader;
 pub mod memory;
+pub mod translate;
 pub mod trusted;
 pub mod world;
 
@@ -36,5 +40,6 @@ pub use cpu::{
 };
 pub use loader::{load, Image, LoadError, Loaded};
 pub use memory::{MemFault, MemSnapshot, Memory};
+pub use translate::Engine;
 pub use trusted::{TrustedCtx, TrustedError, TRUSTED_FUNCTIONS};
 pub use world::World;

@@ -3,11 +3,14 @@
 //! segment registers, and prepare the entry point.
 
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 use confllvm_machine::{encoded_len, trap, MInst, MemoryLayout, Program, Taint};
 
 use crate::alloc::{AllocatorKind, Heap};
+use crate::cost::CostModel;
 use crate::memory::Memory;
+use crate::translate::{translate, BlockCache};
 
 /// A loading failure.
 #[derive(Debug, Clone)]
@@ -56,6 +59,10 @@ pub struct Image {
     pub externs: Vec<confllvm_machine::ExternSpec>,
     pub functions: Vec<confllvm_machine::FuncSym>,
     pub entry_function: usize,
+    /// Basic-block translation of `insts`, built lazily on first block-engine
+    /// run and then shared — the image sits behind an `Arc`, so every
+    /// CoW-forked session dispatches over the same translation.
+    block_cache: OnceLock<Arc<BlockCache>>,
 }
 
 impl Image {
@@ -77,6 +84,23 @@ impl Image {
 
     pub fn bnd1(&self) -> (u64, u64) {
         self.layout.bnd1()
+    }
+
+    /// The image's shared basic-block translation, built on first use with
+    /// `cost` folded into the per-block static sums.  Returns `None` when a
+    /// later caller runs under a *different* cost model than the one the
+    /// cache was built with — the caller then falls back to the legacy
+    /// interpreter rather than mis-charging (in practice every session of a
+    /// service shares one cost model).
+    pub(crate) fn block_cache(&self, cost: CostModel) -> Option<Arc<BlockCache>> {
+        let cache = self.block_cache.get_or_init(|| {
+            let mut span = confllvm_obs::recorder().span("vm", "vm.translate");
+            let cache = translate(self, cost);
+            span.attr("blocks", cache.blocks.len());
+            span.attr("insts", self.insts.len());
+            Arc::new(cache)
+        });
+        (cache.cost == cost).then(|| Arc::clone(cache))
     }
 }
 
@@ -197,6 +221,7 @@ pub fn load(program: &Program, allocator: AllocatorKind) -> Result<Loaded, LoadE
         externs: program.externs.clone(),
         functions: program.functions.clone(),
         entry_function: program.entry_function,
+        block_cache: OnceLock::new(),
     };
     Ok(Loaded {
         image,

@@ -22,6 +22,7 @@
 //! per-session memory cost the serving layer's scale sweep reports.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasherDefault;
 use std::sync::Arc;
 
 /// Page size used by the sparse backing store (simulation detail, not
@@ -29,6 +30,63 @@ use std::sync::Arc;
 const PAGE_SIZE: u64 = 4096;
 
 type Page = [u8; PAGE_SIZE as usize];
+
+/// Multiplicative hasher for page numbers.  Page indices are single `u64`s on
+/// the interpreter's per-access hot path, where the default SipHash dominates
+/// the lookup; a golden-ratio multiply distributes them just as well here.
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl std::hash::Hasher for PageHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PageMap = HashMap<u64, Arc<Page>, BuildHasherDefault<PageHasher>>;
+
+/// Slots in the per-memory software TLB, direct-mapped on the page number's
+/// low bits.  64 entries × 16 bytes is small next to a session's page table
+/// yet covers the working set of a tight guest loop.
+const TLB_SIZE: usize = 64;
+
+/// One software-TLB slot: a page number plus a raw pointer to that page's
+/// buffer.  `page == u64::MAX` marks the slot empty (no real page has that
+/// number — the mapped ranges sit far below it).
+///
+/// An occupied slot certifies, until the TLB is next cleared, that the whole
+/// page is inside a mapped range (so a hit needs no bounds check) and that
+/// the buffer is still this page's live backing store.  A *writable* slot
+/// further certifies that the buffer is uniquely owned and the page already
+/// recorded in the dirty set of the current snapshot epoch, so writes
+/// through the pointer need no CoW or tracking work.  A read-only slot may
+/// point into a buffer shared with snapshots or fork siblings; the first
+/// write takes the page-table path, which does the CoW/dirty accounting and
+/// upgrades the slot.  See the invariant note on [`Memory::tlb`].
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    page: u64,
+    writable: bool,
+    ptr: *mut u8,
+}
+
+impl TlbEntry {
+    const INVALID: TlbEntry = TlbEntry {
+        page: u64::MAX,
+        writable: false,
+        ptr: std::ptr::null_mut(),
+    };
+}
 
 /// A memory access fault.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,7 +117,7 @@ impl std::fmt::Display for MemFault {
 /// whole new memories via [`Memory::fork`].
 #[derive(Debug, Clone)]
 pub struct MemSnapshot {
-    pages: HashMap<u64, Arc<Page>>,
+    pages: PageMap,
     mapped: Vec<(u64, u64)>,
 }
 
@@ -71,14 +129,23 @@ impl MemSnapshot {
 }
 
 /// Sparse memory.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Memory {
-    pages: HashMap<u64, Arc<Page>>,
+    pages: PageMap,
     /// Mapped (accessible) address ranges, non-overlapping.
     mapped: Vec<(u64, u64)>,
     /// Pages written since the last snapshot/restore (empty when no snapshot
     /// has been taken; tracking costs one hash insert per written page).
-    dirty: HashSet<u64>,
+    dirty: HashSet<u64, BuildHasherDefault<PageHasher>>,
+    /// The page most recently recorded dirty — write-heavy loops touch the
+    /// same page repeatedly, so this short-circuits the set insert on the
+    /// interpreter's hottest path.  `u64::MAX` when nothing is recorded.
+    last_dirty: u64,
+    /// Index into `mapped` of the range that satisfied the last bounds
+    /// check; checked first, since consecutive accesses overwhelmingly hit
+    /// the same region.  Relaxed atomic (a plain load/store on x86) so the
+    /// read-only check can remember it without costing `Sync`.
+    hot_range: std::sync::atomic::AtomicUsize,
     /// Whether dirty tracking is armed (set by the first `snapshot`, or at
     /// birth for a fork).
     tracking: bool,
@@ -87,14 +154,68 @@ pub struct Memory {
     /// `Arc`s (rather than raw pointers) keeps the comparison sound even if
     /// the base snapshot is dropped.  Empty for a memory that was never
     /// forked — every page it materialises is its own cost.
-    base: HashMap<u64, Arc<Page>>,
+    base: PageMap,
     /// Writes that had to copy a shared page private.
     cow_faults: u64,
+    /// Software TLB over `pages`, the interpreter's per-access fast path.
+    ///
+    /// Invariant: every occupied slot covers a fully-mapped page and points
+    /// at its live buffer; a *writable* slot was filled in `page_mut`
+    /// (post-`make_mut`) during the current snapshot epoch, with the
+    /// dirty/CoW accounting already done on a uniquely-owned buffer.  The
+    /// operations that break liveness or uniqueness or start a new epoch —
+    /// `snapshot` (clones the page table, resets the dirty set) and
+    /// `restore` (re-points pages at shared buffers, resets the dirty set) —
+    /// clear the TLB, and a fork starts empty; `page_mut` itself refreshes
+    /// the slot after a possible `make_mut` move.  Accesses that hit a slot
+    /// may therefore go straight through the pointer.
+    ///
+    /// Provenance: raw pointers are taken via `Arc::as_ptr` / `as_mut_ptr`
+    /// on the page-table path.  While a slot is live, references into its
+    /// buffer are only created by `page_mut` (which immediately refreshes
+    /// the slot with a fresh pointer) — reads and writes probe the TLB
+    /// before touching the page table — so no pointer is used after a
+    /// reference has retagged its buffer.
+    tlb: Box<[TlbEntry; TLB_SIZE]>,
+}
+
+/// SAFETY: the raw pointers in `tlb` target buffers owned (via `Arc`) by
+/// `pages` of the same `Memory`, are only ever dereferenced through `&mut
+/// self` methods, and `&self` methods never touch them — so sending the
+/// value or sharing `&Memory` across threads is as safe as it was without
+/// the TLB.
+unsafe impl Send for Memory {}
+/// SAFETY: see the `Send` impl.
+unsafe impl Sync for Memory {}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory::new()
+    }
 }
 
 impl Memory {
     pub fn new() -> Self {
-        Memory::default()
+        Memory {
+            pages: PageMap::default(),
+            mapped: Vec::new(),
+            dirty: HashSet::default(),
+            last_dirty: u64::MAX,
+            hot_range: std::sync::atomic::AtomicUsize::new(0),
+            tracking: false,
+            base: PageMap::default(),
+            cow_faults: 0,
+            tlb: Box::new([TlbEntry::INVALID; TLB_SIZE]),
+        }
+    }
+
+    #[inline]
+    fn tlb_slot(page: u64) -> usize {
+        (page as usize) & (TLB_SIZE - 1)
+    }
+
+    fn tlb_clear(&mut self) {
+        self.tlb.fill(TlbEntry::INVALID);
     }
 
     /// Declare `[base, base+size)` accessible.
@@ -103,15 +224,32 @@ impl Memory {
     }
 
     /// Is the whole access inside a mapped range?
+    #[inline]
     pub fn is_mapped(&self, addr: u64, len: u64) -> bool {
+        use std::sync::atomic::Ordering::Relaxed;
         let end = addr.saturating_add(len);
-        self.mapped.iter().any(|(lo, hi)| addr >= *lo && end <= *hi)
+        if let Some(&(lo, hi)) = self.mapped.get(self.hot_range.load(Relaxed)) {
+            if addr >= lo && end <= hi {
+                return true;
+            }
+        }
+        for (i, &(lo, hi)) in self.mapped.iter().enumerate() {
+            if addr >= lo && end <= hi {
+                self.hot_range.store(i, Relaxed);
+                return true;
+            }
+        }
+        false
     }
 
     fn page_mut(&mut self, page: u64) -> &mut Page {
-        if self.tracking {
+        if self.tracking && self.last_dirty != page {
             self.dirty.insert(page);
+            self.last_dirty = page;
         }
+        // TLB hits skip the bounds check, so only a fully-mapped page may
+        // occupy a slot.  Checked before the page table is borrowed below.
+        let fully_mapped = self.is_mapped(page * PAGE_SIZE, PAGE_SIZE);
         let slot = self
             .pages
             .entry(page)
@@ -121,15 +259,33 @@ impl Memory {
         if Arc::strong_count(slot) > 1 {
             self.cow_faults += 1;
         }
-        Arc::make_mut(slot)
+        let buf = Arc::make_mut(slot);
+        // The buffer is now uniquely owned and the page's accounting for this
+        // epoch is done: later accesses may go straight through the pointer.
+        // (If `make_mut` copied the page, this also replaces any read-only
+        // slot still aiming at the old shared buffer.)
+        self.tlb[Self::tlb_slot(page)] = if fully_mapped {
+            TlbEntry {
+                page,
+                writable: true,
+                ptr: buf.as_mut_ptr(),
+            }
+        } else {
+            TlbEntry::INVALID
+        };
+        buf
     }
 
     /// Capture the current contents and arm dirty-page tracking, so a later
     /// [`Memory::restore`] can rewind in O(pages written in between).  The
     /// capture itself is O(pages) reference-count bumps — no bytes move.
     pub fn snapshot(&mut self) -> MemSnapshot {
+        // Cloning the page table shares every buffer, so no TLB entry may
+        // outlive it; the reset dirty set starts a new tracking epoch too.
+        self.tlb_clear();
         self.tracking = true;
         self.dirty.clear();
+        self.last_dirty = u64::MAX;
         MemSnapshot {
             pages: self.pages.clone(),
             mapped: self.mapped.clone(),
@@ -144,10 +300,13 @@ impl Memory {
         Memory {
             pages: snap.pages.clone(),
             mapped: snap.mapped.clone(),
-            dirty: HashSet::new(),
+            dirty: HashSet::default(),
+            last_dirty: u64::MAX,
+            hot_range: std::sync::atomic::AtomicUsize::new(0),
             tracking: true,
             base: snap.pages.clone(),
             cow_faults: 0,
+            tlb: Box::new([TlbEntry::INVALID; TLB_SIZE]),
         }
     }
 
@@ -162,7 +321,11 @@ impl Memory {
     /// memory or from the snapshot this memory was forked from (restoring an
     /// unrelated snapshot would miss pages dirtied before it was taken).
     pub fn restore(&mut self, snap: &MemSnapshot) -> usize {
+        // Dirty pages re-point at shared buffers and the dirty set restarts:
+        // both void the TLB's uniqueness/accounting certificate.
+        self.tlb_clear();
         let dirty = std::mem::take(&mut self.dirty);
+        self.last_dirty = u64::MAX;
         for page in &dirty {
             match snap.pages.get(page) {
                 Some(p) => {
@@ -201,8 +364,77 @@ impl Memory {
         self.cow_faults
     }
 
+    /// Read a 64-bit value — the dominant access width, monomorphic so the
+    /// TLB hit is a single unaligned load with no width dispatch.
+    #[inline]
+    pub fn read8(&mut self, addr: u64) -> Result<u64, MemFault> {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + 8 <= PAGE_SIZE {
+            let page = addr / PAGE_SIZE;
+            let e = self.tlb[Self::tlb_slot(page)];
+            if e.page == page {
+                // SAFETY: TLB invariant (see `read`) + the single-page check.
+                return Ok(unsafe { (e.ptr.add(off) as *const u64).read_unaligned() });
+            }
+        }
+        self.read_slow(addr, 8)
+    }
+
+    /// Write a 64-bit value; monomorphic mirror of [`Memory::read8`].
+    #[inline]
+    pub fn write8(&mut self, addr: u64, value: u64) -> Result<(), MemFault> {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + 8 <= PAGE_SIZE {
+            let page = addr / PAGE_SIZE;
+            let e = self.tlb[Self::tlb_slot(page)];
+            if e.page == page && e.writable {
+                // SAFETY: TLB invariant (see `write`) + the single-page check.
+                unsafe { (e.ptr.add(off) as *mut u64).write_unaligned(value) };
+                return Ok(());
+            }
+        }
+        self.write_slow(addr, 8, value)
+    }
+
     /// Read `len` (1..=8) bytes, zero-extended into a u64.
+    ///
+    /// The body the interpreter actually inlines is just the TLB probe;
+    /// everything else lives in `Memory::read_slow`.
+    #[inline]
     pub fn read(&mut self, addr: u64, len: u64) -> Result<u64, MemFault> {
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + len <= PAGE_SIZE {
+            let page = addr / PAGE_SIZE;
+            let e = self.tlb[Self::tlb_slot(page)];
+            if e.page == page {
+                // SAFETY: the TLB invariant (see the `tlb` field) — `e.ptr`
+                // points at this page's live buffer, the whole page is
+                // mapped (so the access cannot fault), and
+                // `off + len <= PAGE_SIZE` bounds the access.  The width
+                // match keeps the copy a single unaligned load (a
+                // runtime-length `copy_nonoverlapping` would be a `memcpy`
+                // call on this per-instruction path).
+                let p = unsafe { e.ptr.add(off) };
+                let v = match len {
+                    8 => unsafe { (p as *const u64).read_unaligned() },
+                    4 => (unsafe { (p as *const u32).read_unaligned() }) as u64,
+                    2 => (unsafe { (p as *const u16).read_unaligned() }) as u64,
+                    1 => (unsafe { *p }) as u64,
+                    _ => {
+                        let mut out = [0u8; 8];
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(p, out.as_mut_ptr(), len as usize);
+                        }
+                        u64::from_le_bytes(out)
+                    }
+                };
+                return Ok(v);
+            }
+        }
+        self.read_slow(addr, len)
+    }
+
+    fn read_slow(&mut self, addr: u64, len: u64) -> Result<u64, MemFault> {
         if !self.is_mapped(addr, len) {
             return Err(MemFault {
                 addr,
@@ -211,6 +443,28 @@ impl Memory {
             });
         }
         let mut out = [0u8; 8];
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + len <= PAGE_SIZE {
+            // The access stays on one page — at most a single lookup and a
+            // slice copy (unmaterialised pages read as zero).
+            let page = addr / PAGE_SIZE;
+            if let Some(p) = self.pages.get(&page) {
+                out[..len as usize].copy_from_slice(&p[off..off + len as usize]);
+                // Remember the buffer read-only (`Arc::as_ptr` — no `&` into
+                // the data, see the provenance note on `tlb`) so further
+                // reads of this hot page skip the page table.  Only a
+                // fully-mapped page may occupy a slot.
+                let ptr = Arc::as_ptr(p) as *mut u8;
+                if self.is_mapped(page * PAGE_SIZE, PAGE_SIZE) {
+                    self.tlb[Self::tlb_slot(page)] = TlbEntry {
+                        page,
+                        writable: false,
+                        ptr,
+                    };
+                }
+            }
+            return Ok(u64::from_le_bytes(out));
+        }
         for i in 0..len {
             let a = addr + i;
             let page = a / PAGE_SIZE;
@@ -224,7 +478,38 @@ impl Memory {
     }
 
     /// Write the low `len` bytes of `value`.
+    ///
+    /// Mirror of [`Memory::read`]: inlined TLB probe, outlined slow path.
+    #[inline]
     pub fn write(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemFault> {
+        let bytes = value.to_le_bytes();
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + len <= PAGE_SIZE {
+            let page = addr / PAGE_SIZE;
+            let e = self.tlb[Self::tlb_slot(page)];
+            if e.page == page && e.writable {
+                // SAFETY: TLB invariant — unique live buffer on a fully
+                // mapped page, CoW/dirty accounting for it already done this
+                // epoch, access bounded by the single-page check above.  The
+                // width match keeps the copy a single unaligned store (see
+                // the note in `read`).
+                let p = unsafe { e.ptr.add(off) };
+                match len {
+                    8 => unsafe { (p as *mut u64).write_unaligned(value) },
+                    4 => unsafe { (p as *mut u32).write_unaligned(value as u32) },
+                    2 => unsafe { (p as *mut u16).write_unaligned(value as u16) },
+                    1 => unsafe { *p = value as u8 },
+                    _ => unsafe {
+                        std::ptr::copy_nonoverlapping(bytes.as_ptr(), p, len as usize);
+                    },
+                }
+                return Ok(());
+            }
+        }
+        self.write_slow(addr, len, value)
+    }
+
+    fn write_slow(&mut self, addr: u64, len: u64, value: u64) -> Result<(), MemFault> {
         if !self.is_mapped(addr, len) {
             return Err(MemFault {
                 addr,
@@ -233,6 +518,15 @@ impl Memory {
             });
         }
         let bytes = value.to_le_bytes();
+        let off = (addr % PAGE_SIZE) as usize;
+        if off as u64 + len <= PAGE_SIZE {
+            // One `page_mut` (one dirty insert, at most one CoW fault —
+            // identical to what the per-byte loop counted, since the first
+            // byte's copy makes the page private for the rest).
+            let buf = self.page_mut(addr / PAGE_SIZE);
+            buf[off..off + len as usize].copy_from_slice(&bytes[..len as usize]);
+            return Ok(());
+        }
         for i in 0..len {
             let a = addr + i;
             let page = a / PAGE_SIZE;
