@@ -235,11 +235,18 @@ pub fn interp_speed_report(quick: bool) -> InterpSpeedReport {
         .map(|r| r.block_host_nanos)
         .sum();
     let spec_speedup = legacy_total as f64 / block_total.max(1) as f64;
-    assert!(
-        spec_speedup >= REQUIRED_SPEC_SPEEDUP,
-        "block engine speedup {spec_speedup:.2}x is below the required \
-         {REQUIRED_SPEC_SPEEDUP}x on the SPEC stand-ins"
-    );
+    // The wall-clock bar applies to unprofiled runs only: the sampling
+    // profiler instruments the block engine alone (the legacy engine is the
+    // untouched differential oracle), so under a globally enabled profiler
+    // the measured ratio legitimately shrinks.  Simulated counters and
+    // observables are asserted bit-identical per row above regardless.
+    if !confllvm_obs::prof::profiler().enabled() {
+        assert!(
+            spec_speedup >= REQUIRED_SPEC_SPEEDUP,
+            "block engine speedup {spec_speedup:.2}x is below the required \
+             {REQUIRED_SPEC_SPEEDUP}x on the SPEC stand-ins"
+        );
+    }
     InterpSpeedReport {
         quick,
         rows,

@@ -20,12 +20,17 @@ use confllvm_server::{
 use confllvm_workloads::{ldap, merkle, nginx, overhead_pct, privado, spec, vuln};
 
 pub mod interp_speed;
+pub mod profile;
 pub mod server_scale;
 pub mod verify_scale;
 
 pub use interp_speed::{
     interp_speed_json, interp_speed_report, render_interp_speed, write_interp_speed_json,
     InterpSpeedReport, InterpSpeedRow,
+};
+pub use profile::{
+    profile_json, profile_report, render_profile, write_profile_json, ProfileReport, ProfileRow,
+    ServerProfileRow,
 };
 pub use server_scale::{
     render_server_scale, server_scale_json, server_scale_report, write_server_scale_json,
@@ -75,6 +80,48 @@ impl Figure {
             out.push('\n');
         }
         out
+    }
+
+    /// Serialise as the flat scalar JSON the golden diff understands.
+    /// Every value is a ratio of simulated-cycle totals, so every key
+    /// diffs exactly — figures carry no timing-class keys at all.
+    pub fn figure_json(&self, section: &str, quick: bool) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"section\": \"{section}\",\n"));
+        s.push_str(&format!("  \"quick\": {quick},\n"));
+        s.push_str(&format!("  \"id\": \"{}\",\n", self.id));
+        s.push_str(&format!("  \"metric\": \"{}\",\n", self.metric));
+        s.push_str(&format!("  \"rows\": {}", self.rows.len()));
+        for row in &self.rows {
+            for (config, value) in &row.values {
+                s.push_str(&format!(
+                    ",\n  \"{}.{}\": {:.3}",
+                    row.label,
+                    config.name(),
+                    value
+                ));
+            }
+        }
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// Write the figure benchmark JSON atomically (temp file + rename).
+    pub fn write_figure_json(
+        &self,
+        section: &str,
+        quick: bool,
+        path: &std::path::Path,
+    ) -> std::io::Result<()> {
+        use std::io::Write as _;
+        let json = self.figure_json(section, quick);
+        let tmp = path.with_extension("json.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(json.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
     }
 }
 

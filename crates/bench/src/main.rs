@@ -4,6 +4,7 @@
 //! ```text
 //! repro [--section <name>[,<name>...]]... [--quick] [--usage]
 //!       [--trace <out.json>] [--metrics-json <out.json>]
+//!       [--metrics-series <out.jsonl>] [--profile-folded <out.folded>]
 //! repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting]
 //! repro --check-trace <trace.json>
 //! ```
@@ -22,7 +23,7 @@ use confllvm_bench::*;
 
 /// Every evaluation section: canonical name, legacy flag alias, workload
 /// aliases accepted by `--section`, and a description.
-const SECTIONS: [(&str, &str, &[&str], &str); 12] = [
+const SECTIONS: [(&str, &str, &[&str], &str); 13] = [
     (
         "fig5",
         "--fig5",
@@ -90,12 +91,19 @@ const SECTIONS: [(&str, &str, &[&str], &str); 12] = [
         &["interp"],
         "block execution engine vs legacy decode-per-step interpreter: host time on SPEC stand-ins + pooled serving mix, asserts >=3x with bit-identical counters (emits BENCH_interp_speed.json)",
     ),
+    (
+        "profile",
+        "--profile",
+        &[],
+        "deterministic sampling profiler: SPEC stand-ins + serving legs, per-check-site attribution cross-checked against ablation_passes, PR-1 vs full-pipeline differential (emits BENCH_profile.json)",
+    ),
 ];
 
 fn usage() -> String {
     let mut out = String::new();
     out.push_str("usage: repro [--section <name>[,<name>...]]... [--quick] [--usage]\n");
     out.push_str("             [--trace <out.json>] [--metrics-json <out.json>]\n");
+    out.push_str("             [--metrics-series <out.jsonl>] [--profile-folded <out.folded>]\n");
     out.push_str("       repro [--fig5] [--fig6] [--ldap] [--fig7] [--fig8] [--vuln] [--porting] [--ablation-passes] [--server-throughput] [--verify-scale]\n");
     out.push_str("       repro --diff-bench <actual.json> <golden.json>\n");
     out.push_str("       repro --check-trace <trace.json>\n\n");
@@ -113,8 +121,15 @@ fn usage() -> String {
          --trace <out.json>          record spans while the selected sections run and\n  \
                                      write a Chrome trace_event file (open in Perfetto)\n  \
          --metrics-json <out.json>   write aggregated counters/histograms/span totals\n  \
+         --metrics-series <out.jsonl> write the server_scale largest point's per-window\n  \
+                                     telemetry as JSONL (needs the server_scale section)\n  \
+         --profile-folded <out>      enable the deterministic sampling profiler for the\n  \
+                                     selected sections and write a collapsed-stack file\n  \
+                                     (flamegraph.pl / speedscope compatible); with\n  \
+                                     --section profile, writes that section's export\n  \
          --check-trace <trace.json>  validate a trace file: well-formed Chrome JSON with\n  \
-                                     spans from all of compiler, verifier, vm and server\n",
+                                     spans from all of compiler, verifier, vm and server,\n  \
+                                     failing on any ring-buffer drops\n",
     );
     out
 }
@@ -205,20 +220,37 @@ fn check_trace(path: &str) -> ! {
         Ok(check) => {
             let mut missing = check.missing_categories(&confllvm_obs::LAYERS);
             missing.extend(check.missing_names(&REQUIRED_SPANS));
-            if missing.is_empty() {
+            // A wrapped ring means the trace silently undercounts: report
+            // which threads dropped and fail alongside missing coverage.
+            if check.dropped_total() > 0 {
+                for (tid, count) in &check.dropped {
+                    eprintln!(
+                        "trace DROPS: thread {tid} dropped {count} events to ring wrap-around"
+                    );
+                }
+            }
+            if missing.is_empty() && check.dropped_total() == 0 {
                 println!(
-                    "trace OK: `{path}` has {} events covering all layers ({}) and {}",
+                    "trace OK: `{path}` has {} events covering all layers ({}) and {}, 0 dropped",
                     check.events,
                     confllvm_obs::LAYERS.join(", "),
                     REQUIRED_SPANS.join(", ")
                 );
                 std::process::exit(0);
             }
-            eprintln!(
-                "trace INCOMPLETE: `{path}` has {} events but no spans from: {}",
-                check.events,
-                missing.join(", ")
-            );
+            if !missing.is_empty() {
+                eprintln!(
+                    "trace INCOMPLETE: `{path}` has {} events but no spans from: {}",
+                    check.events,
+                    missing.join(", ")
+                );
+            } else {
+                eprintln!(
+                    "trace INCOMPLETE: `{path}` has {} events but dropped {}",
+                    check.events,
+                    check.dropped_total()
+                );
+            }
             std::process::exit(1);
         }
         Err(e) => {
@@ -251,6 +283,8 @@ fn main() {
     let mut quick = false;
     let mut trace_path: Option<String> = None;
     let mut metrics_path: Option<String> = None;
+    let mut series_path: Option<String> = None;
+    let mut folded_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();
@@ -269,7 +303,7 @@ fn main() {
                 };
                 resolve_sections(list, &mut selected, &mut unknown);
             }
-            "--trace" | "--metrics-json" => {
+            "--trace" | "--metrics-json" | "--metrics-series" | "--profile-folded" => {
                 let flag = a;
                 i += 1;
                 let Some(path) = args.get(i) else {
@@ -277,10 +311,11 @@ fn main() {
                     eprint!("{}", usage());
                     std::process::exit(2);
                 };
-                if flag == "--trace" {
-                    trace_path = Some(path.clone());
-                } else {
-                    metrics_path = Some(path.clone());
+                match flag {
+                    "--trace" => trace_path = Some(path.clone()),
+                    "--metrics-json" => metrics_path = Some(path.clone()),
+                    "--metrics-series" => series_path = Some(path.clone()),
+                    _ => folded_path = Some(path.clone()),
                 }
             }
             flag => match SECTIONS.iter().find(|(_, f, _, _)| *f == flag) {
@@ -308,11 +343,30 @@ fn main() {
     let all = selected.is_empty();
     let want = |name: &str| all || selected.contains(&name);
 
+    // `--metrics-series` exports the server_scale section's window series;
+    // without that section in the run there is nothing to export.
+    if series_path.is_some() && !want("server_scale") {
+        eprintln!("error: --metrics-series needs the server_scale section in the run");
+        eprint!("{}", usage());
+        std::process::exit(2);
+    }
+
     // Observability: recording is off unless an export was asked for, so a
     // plain run never pays for tracing.
     let recording = trace_path.is_some() || metrics_path.is_some();
     if recording {
         confllvm_obs::recorder().set_enabled(true);
+    }
+    // `--profile-folded` without the profile section samples whatever runs
+    // through the process-wide profiler; the profile section manages the
+    // profiler itself (interval, clearing, perturbation checks), so when it
+    // is in the run the flag exports that section's combined profile
+    // instead.
+    let global_profile = folded_path.is_some() && !want("profile");
+    if global_profile {
+        let prof = confllvm_obs::profiler();
+        prof.clear();
+        prof.set_enabled(true);
     }
 
     let spec_scale = if quick { 8 } else { 1 };
@@ -328,23 +382,35 @@ fn main() {
     let merkle_blocks = if quick { 2 } else { 8 };
     let merkle_threads = 6;
 
+    // Every figure value is a simulated-cycle ratio, so each figure emits a
+    // golden-diffable BENCH_<section>.json next to its table.
+    let write_or_die = |path: &std::path::Path, res: std::io::Result<()>| match res {
+        Ok(()) => println!("   wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let emit_figure = |section: &str, fig: &Figure| {
+        println!("{}", fig.render());
+        let path = std::path::PathBuf::from(format!("BENCH_{section}.json"));
+        write_or_die(&path, fig.write_figure_json(section, quick, &path));
+    };
+
     if want("fig5") {
-        println!("{}", fig5_spec(spec_scale).render());
+        emit_figure("fig5", &fig5_spec(spec_scale));
     }
     if want("fig6") {
-        println!("{}", fig6_nginx(nginx_requests, nginx_sizes).render());
+        emit_figure("fig6", &fig6_nginx(nginx_requests, nginx_sizes));
     }
     if want("ldap") {
-        println!("{}", ldap_table(ldap_entries, ldap_queries).render());
+        emit_figure("ldap", &ldap_table(ldap_entries, ldap_queries));
     }
     if want("fig7") {
-        println!("{}", fig7_privado(privado_images).render());
+        emit_figure("fig7", &fig7_privado(privado_images));
     }
     if want("fig8") {
-        println!(
-            "{}",
-            fig8_merkle(merkle_blocks, 1024, merkle_threads).render()
-        );
+        emit_figure("fig8", &fig8_merkle(merkle_blocks, 1024, merkle_threads));
     }
     if want("vuln") {
         println!("{}", vuln_table());
@@ -399,6 +465,15 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(out) = &series_path {
+            match std::fs::write(out, &report.metrics_series) {
+                Ok(()) => println!("   wrote {out}"),
+                Err(e) => {
+                    eprintln!("error: writing {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
     }
     if want("interp_speed") {
         let report = interp_speed_report(quick);
@@ -408,6 +483,40 @@ fn main() {
             Ok(()) => println!("   wrote {}", path.display()),
             Err(e) => {
                 eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    if want("profile") {
+        let report = profile_report(quick);
+        println!("{}", render_profile(&report));
+        let path = std::path::Path::new("BENCH_profile.json");
+        write_or_die(path, write_profile_json(&report, path));
+        if let Some(out) = &folded_path {
+            match std::fs::write(out, &report.folded) {
+                Ok(()) => println!("   wrote {out}"),
+                Err(e) => {
+                    eprintln!("error: writing {out}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    if global_profile {
+        let prof = confllvm_obs::profiler();
+        prof.set_enabled(false);
+        let profile = prof.take();
+        let out = folded_path
+            .as_deref()
+            .expect("global_profile implies a path");
+        match std::fs::write(out, profile.folded()) {
+            Ok(()) => println!(
+                "   wrote {out} ({} samples over {} stacks)",
+                profile.total_samples(),
+                profile.samples.len()
+            ),
+            Err(e) => {
+                eprintln!("error: writing {out}: {e}");
                 std::process::exit(1);
             }
         }

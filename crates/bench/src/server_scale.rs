@@ -57,6 +57,11 @@ pub struct ServerScalePoint {
     pub mean_peak_pages: f64,
     pub cow_faults: u64,
     pub makespan_cycles: u64,
+    /// Windows the SLO monitor classified bad (shed, aged defer, or late).
+    pub slo_bad_windows: u64,
+    /// Edge-triggered burn-rate breaches over the point's window series.
+    pub slo_fast_breaches: u64,
+    pub slo_slow_breaches: u64,
     pub host_micros: u128,
 }
 
@@ -89,6 +94,16 @@ pub struct ServerScaleReport {
     /// Requests those live sessions completed.
     pub live_serve_requests: u64,
     pub live_serve_host_micros: u128,
+    /// The quiet control run: the same session count as the baseline under
+    /// an arrival rate the 4 modelled workers drain without queueing.  The
+    /// SLO monitor must stay silent here — the breaches at the bursty
+    /// points are then attributable to the induced overload, not the rules.
+    pub quiet_sessions: usize,
+    pub quiet_windows: u64,
+    pub quiet_breaches: u64,
+    /// The largest point's per-window telemetry as metrics-series JSONL
+    /// (schema `confllvm.metrics-series.v1`), for `--metrics-series <out>`.
+    pub metrics_series: String,
 }
 
 /// Drive `count` single-request sessions through the real-thread
@@ -152,6 +167,22 @@ fn scale_plan(sessions: usize) -> ArrivalPlan {
     })
 }
 
+/// The quiet control plan: same shape as [`scale_plan`] but with every
+/// window's arrivals well under what the modelled workers drain, so no
+/// request queues past its deadline and no window classifies bad.
+fn quiet_plan(sessions: usize) -> ArrivalPlan {
+    RequestGen::new(0x5CA1_E000 + sessions as u64).arrival_plan(&ArrivalOptions {
+        sessions,
+        arrivals: 128,
+        zipf: true,
+        window_cycles: 50_000,
+        on_windows: 3,
+        off_windows: 2,
+        on_per_window: 4,
+        off_per_window: 2,
+    })
+}
+
 /// Build the per-session specs for a plan: each session gets its own
 /// private [`World`] and exactly as many requests as the plan sends it.
 fn scale_sessions(plan: &ArrivalPlan, sessions: usize) -> Vec<SessionSpec> {
@@ -202,6 +233,9 @@ fn point_of(sessions: usize, plan: &ArrivalPlan, report: &ScaleReport) -> Server
         mean_peak_pages: report.resident.mean_peak_pages,
         cow_faults: report.resident.cow_faults,
         makespan_cycles: report.makespan_cycles,
+        slo_bad_windows: report.slo.bad,
+        slo_fast_breaches: report.slo.fast_breaches,
+        slo_slow_breaches: report.slo.slow_breaches,
         host_micros: report.host_micros.max(1),
     }
 }
@@ -217,6 +251,7 @@ pub fn server_scale_report(quick: bool) -> ServerScaleReport {
 
     let mut points = Vec::new();
     let mut baseline_observable: Option<Vec<u8>> = None;
+    let mut metrics_series = String::new();
     for (i, &sessions) in sweep.iter().enumerate() {
         let plan = scale_plan(sessions);
         let specs = scale_sessions(&plan, sessions);
@@ -230,6 +265,15 @@ pub fn server_scale_report(quick: bool) -> ServerScaleReport {
         );
         if i == 0 {
             baseline_observable = Some(forked.observable());
+        }
+        if i == sweep.len() - 1 {
+            metrics_series = forked.series.jsonl(
+                &[("workload", "nginx"), ("config", Config::OurMpx.name())],
+                &[
+                    ("sessions", sessions as u64),
+                    ("slo_cycles", sched.slo_cycles),
+                ],
+            );
         }
         points.push(point_of(sessions, &plan, &forked));
     }
@@ -280,6 +324,36 @@ pub fn server_scale_report(quick: bool) -> ServerScaleReport {
     }
     let resident_improvement = isolated_mean / top.mean_parked_pages.max(0.1);
 
+    // Every bursty point must trip the fast burn-rate rule (the plan is
+    // engineered to shed), and the quiet control run must not: breaches
+    // measure induced overload, not monitor noise.
+    for p in &points {
+        assert!(
+            p.slo_fast_breaches >= 1,
+            "the bursty plan at {} sessions must trip the fast burn-rate rule",
+            p.sessions
+        );
+    }
+    let quiet = {
+        let plan = quiet_plan(baseline_sessions);
+        let specs = scale_sessions(&plan, baseline_sessions);
+        server
+            .serve_scaled(binary, &specs, &plan, &sched)
+            .unwrap_or_else(|e| panic!("quiet control run: {e}"))
+    };
+    assert_eq!(
+        quiet.metrics.shed, 0,
+        "the quiet plan must stay under the drain rate"
+    );
+    assert_eq!(
+        quiet.slo.total_breaches(),
+        0,
+        "the quiet control run must not trip any burn-rate rule \
+         ({} bad windows of {})",
+        quiet.slo.bad,
+        quiet.slo.windows
+    );
+
     // The full sweep additionally exercises the *real-thread* serve path at
     // 10^4 live sessions — worker threads, work stealing, per-version pools
     // — so the scale claim is not carried by the virtual-time model alone.
@@ -307,6 +381,10 @@ pub fn server_scale_report(quick: bool) -> ServerScaleReport {
         live_serve_sessions,
         live_serve_requests,
         live_serve_host_micros,
+        quiet_sessions: baseline_sessions,
+        quiet_windows: quiet.slo.windows,
+        quiet_breaches: quiet.slo.total_breaches(),
+        metrics_series,
     }
 }
 
@@ -360,6 +438,17 @@ pub fn render_server_scale(r: &ServerScaleReport) -> String {
         "   equivalence            forked vs isolated observables byte-identical: {}\n",
         r.observables_match
     ));
+    if let Some(top) = r.points.last() {
+        out.push_str(&format!(
+            "   slo monitor            burst: {} fast / {} slow breaches over {} bad windows; quiet control ({} sessions, {} windows): {} breaches\n",
+            top.slo_fast_breaches,
+            top.slo_slow_breaches,
+            top.slo_bad_windows,
+            r.quiet_sessions,
+            r.quiet_windows,
+            r.quiet_breaches
+        ));
+    }
     if r.live_serve_sessions > 0 {
         out.push_str(&format!(
             "   real-thread serve      {} live sessions / {} requests through Server::serve in {} ms\n",
@@ -444,8 +533,26 @@ pub fn server_scale_json(r: &ServerScaleReport) -> String {
             p.makespan_cycles.to_string(),
             false,
         );
+        field(
+            format!("{k}.slo_bad_windows"),
+            p.slo_bad_windows.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.slo_fast_breaches"),
+            p.slo_fast_breaches.to_string(),
+            false,
+        );
+        field(
+            format!("{k}.slo_slow_breaches"),
+            p.slo_slow_breaches.to_string(),
+            false,
+        );
         field(format!("{k}.host_micros"), p.host_micros.to_string(), false);
     }
+    field("quiet.sessions".into(), r.quiet_sessions.to_string(), false);
+    field("quiet.windows".into(), r.quiet_windows.to_string(), false);
+    field("quiet.breaches".into(), r.quiet_breaches.to_string(), false);
     field(
         "baseline.sessions".into(),
         r.baseline_sessions.to_string(),
@@ -570,6 +677,10 @@ mod tests {
             live_serve_sessions: 0,
             live_serve_requests: 0,
             live_serve_host_micros: 0,
+            quiet_sessions: 0,
+            quiet_windows: 0,
+            quiet_breaches: 0,
+            metrics_series: String::new(),
         };
         assert!(!server_scale_json(&r).contains("live_serve."));
         r.live_serve_sessions = 10_000;
@@ -579,6 +690,29 @@ mod tests {
         assert!(json.contains("\"live_serve.sessions\": 10000"));
         let errors = crate::diff_bench_json(&json, &json).unwrap();
         assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn burst_trips_the_fast_burn_rule_and_quiet_stays_silent() {
+        // server_scale_report already asserts both internally; this pins
+        // the exported shape too.
+        let r = server_scale_report(true);
+        let top = r.points.last().unwrap();
+        assert!(top.slo_fast_breaches >= 1);
+        assert!(top.slo_bad_windows > 0);
+        assert_eq!(r.quiet_breaches, 0);
+        assert!(r.quiet_windows > 0, "the quiet run must produce windows");
+        let json = server_scale_json(&r);
+        assert!(json.contains(".slo_fast_breaches"));
+        assert!(json.contains("\"quiet.breaches\": 0"));
+        // The top point's telemetry rides along as metrics-series JSONL.
+        let first = r.metrics_series.lines().next().unwrap();
+        assert!(first.contains("\"schema\":\"confllvm.metrics-series.v1\""));
+        assert!(first.contains("\"workload\":\"nginx\""));
+        assert!(
+            r.metrics_series.lines().count() as u64 >= top.windows,
+            "one JSONL line per window plus the schema header"
+        );
     }
 
     #[test]

@@ -66,7 +66,27 @@ pub fn chrome_trace_json(snap: &TraceSnapshot) -> String {
             out.push_str("}}");
         }
     }
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"");
+    // Per-thread ring-buffer drop counts, so a consumer can tell a complete
+    // trace from one that silently wrapped.  Only threads that actually
+    // dropped appear; a fully-captured trace has no `droppedEvents` key.
+    let mut first_drop = true;
+    for thread in &snap.threads {
+        if thread.dropped == 0 {
+            continue;
+        }
+        out.push_str(if first_drop {
+            ",\"droppedEvents\":{"
+        } else {
+            ","
+        });
+        first_drop = false;
+        let _ = write!(out, "\"{}\":{}", thread.tid, thread.dropped);
+    }
+    if !first_drop {
+        out.push('}');
+    }
+    out.push_str("}\n");
     out
 }
 
@@ -216,6 +236,9 @@ pub struct TraceCheck {
     /// Events per span/instant name, so callers can assert that specific
     /// operations (e.g. the block-engine's `vm.translate`) are covered.
     pub names: BTreeMap<String, usize>,
+    /// Ring-buffer drops per thread (`tid` → count), from the trace's
+    /// `droppedEvents` object.  Empty when nothing was dropped.
+    pub dropped: BTreeMap<u64, u64>,
 }
 
 impl TraceCheck {
@@ -235,6 +258,13 @@ impl TraceCheck {
             .filter(|n| !self.names.contains_key(**n))
             .map(|n| n.to_string())
             .collect()
+    }
+
+    /// Total events dropped to ring wrap-around, across all threads.  A
+    /// nonzero total means the trace is incomplete and span/category counts
+    /// undercount reality.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
     }
 }
 
@@ -286,6 +316,21 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceCheck, String> {
         check.events += 1;
         *check.categories.entry(cat.to_string()).or_insert(0) += 1;
         *check.names.entry(name.to_string()).or_insert(0) += 1;
+    }
+    if let Some(drops) = doc.get("droppedEvents") {
+        let obj = drops
+            .as_obj()
+            .ok_or("`droppedEvents` is not an object".to_string())?;
+        for (tid, count) in obj {
+            let tid: u64 = tid
+                .parse()
+                .map_err(|_| format!("droppedEvents: non-numeric tid `{tid}`"))?;
+            let count = count
+                .as_num()
+                .filter(|c| *c >= 0.0)
+                .ok_or_else(|| format!("droppedEvents[{tid}]: not a non-negative number"))?;
+            check.dropped.insert(tid, count as u64);
+        }
     }
     Ok(check)
 }
@@ -359,6 +404,36 @@ mod tests {
         assert!(table.contains("counters:"));
         assert!(table.contains("histograms:"));
         assert!(table.contains("verify.cache.proc_hits"));
+    }
+
+    #[test]
+    fn dropped_events_round_trip_through_trace_and_validator() {
+        // A clean trace carries no droppedEvents key and validates to zero.
+        let clean = chrome_trace_json(&sample_snapshot());
+        assert!(!clean.contains("droppedEvents"));
+        let check = validate_chrome_trace(&clean).unwrap();
+        assert!(check.dropped.is_empty());
+        assert_eq!(check.dropped_total(), 0);
+
+        // Overflow one thread's ring: the wrap count must surface per
+        // thread (capacity is 2^16 events; see recorder::RING_CAPACITY).
+        let rec = Recorder::new();
+        rec.set_enabled(true);
+        for _ in 0..(1 << 16) + 10 {
+            rec.span("vm", "vm.run");
+        }
+        let snap = rec.snapshot();
+        assert!(snap.dropped() > 0);
+        let trace = chrome_trace_json(&snap);
+        let check = validate_chrome_trace(&trace).unwrap();
+        assert_eq!(check.dropped_total(), snap.dropped());
+        assert_eq!(check.dropped.len(), 1);
+
+        // Malformed droppedEvents objects are rejected.
+        let bad = "{\"traceEvents\":[],\"droppedEvents\":{\"x\":1}}";
+        assert!(validate_chrome_trace(bad).unwrap_err().contains("tid"));
+        let neg = "{\"traceEvents\":[],\"droppedEvents\":{\"0\":-1}}";
+        assert!(validate_chrome_trace(neg).is_err());
     }
 
     #[test]

@@ -102,7 +102,15 @@ impl Histogram {
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                // Bucket 64 holds [2^63, u64::MAX]; its upper bound is
+                // u64::MAX itself, which `1 << 64` cannot express.
+                let upper = if i == 0 {
+                    0
+                } else if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i) - 1
+                };
                 return upper.min(self.max).max(self.min());
             }
         }
@@ -197,6 +205,50 @@ mod tests {
         assert_eq!(exact_percentile(&samples, 99), 1000);
         assert_eq!(exact_percentile(&samples, 100), 1000);
         assert_eq!(exact_percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_stay_in_range() {
+        // Empty input: every rank is 0, at both resolutions.
+        for p in [0, 1, 500, 999, 1000] {
+            assert_eq!(exact_percentile_milli(&[], p), 0);
+        }
+        // Single element: every percentile is that element.
+        for p in [0, 1, 500, 990, 999, 1000] {
+            assert_eq!(exact_percentile_milli(&[42], p), 42);
+        }
+        // All-equal samples: rank selection cannot matter.
+        let same = [7u64; 100];
+        for p in [0, 1, 500, 990, 999, 1000] {
+            assert_eq!(exact_percentile_milli(&same, p), 7);
+        }
+        // u64::MAX samples must survive sorting and indexing unclamped.
+        let extremes = [0, 1, u64::MAX, u64::MAX];
+        assert_eq!(exact_percentile_milli(&extremes, 1000), u64::MAX);
+        assert_eq!(exact_percentile_milli(&extremes, 500), 1);
+        assert_eq!(exact_percentile_milli(&[u64::MAX], 999), u64::MAX);
+        // per_mille 0 floors at the smallest sample, not out of bounds.
+        assert_eq!(exact_percentile_milli(&extremes, 0), 0);
+        // Out-of-range per_mille clamps to the maximum rather than panicking.
+        assert_eq!(exact_percentile_milli(&extremes, 2000), u64::MAX);
+        // The percent wrapper agrees on the same edges.
+        assert_eq!(exact_percentile(&[], 99), 0);
+        assert_eq!(exact_percentile(&[42], 100), 42);
+        assert_eq!(exact_percentile(&[u64::MAX], 50), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_handles_u64_max_without_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        h.record(1);
+        // sum saturates rather than wrapping; min/max stay exact.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), u64::MAX);
+        // The top bucket's upper bound clamps to the recorded maximum.
+        assert_eq!(h.percentile(100), u64::MAX);
     }
 
     #[test]

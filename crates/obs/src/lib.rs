@@ -26,7 +26,9 @@ mod attr;
 mod export;
 mod hist;
 mod json;
+pub mod prof;
 mod recorder;
+pub mod series;
 
 pub use attr::AttrValue;
 pub use export::{
@@ -34,7 +36,9 @@ pub use export::{
 };
 pub use hist::{exact_percentile, exact_percentile_milli, Histogram};
 pub use json::{parse_json, Json};
+pub use prof::{profiler, Profile, ProfileDiff, Profiler, SampleKey};
 pub use recorder::{recorder, Event, EventKind, Recorder, Span, ThreadEvents, TraceSnapshot};
+pub use series::{SloMonitor, SloReport, SloRules, WindowSeries, WindowStat};
 
 /// The span categories of the four instrumented layers, in the order the
 /// acceptance gate checks them: compiler (IR + machine pass managers),

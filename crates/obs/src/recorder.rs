@@ -408,6 +408,14 @@ impl Recorder {
         }
     }
 
+    /// Scan a string against the registered private sentinels and panic on
+    /// a match (debug builds only) — for sibling subsystems that admit
+    /// strings through their own gates (e.g. the profiler's frame interner)
+    /// and want the same record-site check the recorder applies.
+    pub fn debug_scan(&self, s: &str, what: &str) {
+        self.assert_clean_str(s, what);
+    }
+
     fn assert_clean_str(&self, s: &str, what: &str) {
         if !cfg!(debug_assertions) {
             return;

@@ -77,7 +77,8 @@ pub use runtime::{
     SessionOutcome,
 };
 pub use sched::{
-    Arrival, ArrivalPlan, Backpressure, Completion, SchedResult, SchedulerConfig, WorkQueues,
+    Arrival, ArrivalPlan, Backpressure, Completion, ExecCost, SchedResult, SchedulerConfig,
+    WorkQueues,
 };
 pub use session::{Request, SessionSpec, SessionSpecBuilder};
 pub use store::{SessionTemplate, SnapshotStore};

@@ -49,7 +49,7 @@ use crate::handles::{BinaryId, SessionId, VersionId};
 use crate::metrics::{RequestMetrics, StreamMetrics};
 use crate::pool::{PoolOptions, PooledInstance, SpawnError, VmPool};
 use crate::registry::Registry;
-use crate::sched::{run_virtual, ArrivalPlan, SchedulerConfig, WorkQueues};
+use crate::sched::{run_virtual, ArrivalPlan, ExecCost, SchedulerConfig, WorkQueues};
 use crate::session::SessionSpec;
 use crate::store::SnapshotStore;
 
@@ -302,6 +302,16 @@ pub struct ScaleReport {
     /// Virtual makespan of the run in simulated cycles.
     pub makespan_cycles: u64,
     pub resident: ResidentStats,
+    /// Per-window telemetry from the scheduler: one
+    /// [`WindowStat`](confllvm_obs::WindowStat) per admission window, with
+    /// per-request CoW faults filled in and the run's verify-cache-hit
+    /// delta charged to the first window (the checkout happens before any
+    /// window opens).
+    pub series: confllvm_obs::WindowSeries,
+    /// Burn-rate evaluation of the window series against
+    /// [`SloRules::default`](confllvm_obs::SloRules) — fast and slow
+    /// breach excursions, counted edge-triggered.
+    pub slo: confllvm_obs::SloReport,
     /// Host-side wall time for the whole run, microseconds.
     pub host_micros: u128,
 }
@@ -477,6 +487,7 @@ impl Server {
     ) -> Result<ScaleReport, ServeError> {
         let rec = confllvm_obs::recorder();
         let started = Instant::now();
+        let cache_hits_before = self.registry.cache_stats().hits;
         let (version, service) = self.registry.checkout_active(binary).ok_or_else(|| {
             if self.registry.versions(binary).is_empty() {
                 ServeError::UnknownBinary { binary }
@@ -535,9 +546,13 @@ impl Server {
         let mut peak_pages = vec![0usize; sessions.len()];
         let mut first_error: Option<ServeError> = None;
 
-        let sched_result = run_virtual(sched, plan, |si, ri| {
+        let drain = ExecCost {
+            cycles: 1,
+            cow_faults: 0,
+        };
+        let mut sched_result = run_virtual(sched, plan, |si, ri| {
             if first_error.is_some() {
-                return 1; // drain the plan cheaply once the run has failed
+                return drain; // drain the plan cheaply once the run has failed
             }
             let inst = &mut instances[si];
             let Some(req) = sessions[si].requests.get(ri) else {
@@ -545,8 +560,9 @@ impl Server {
                     session: sessions[si].id,
                     index: ri,
                 });
-                return 1;
+                return drain;
             };
+            let cow_before = inst.vm.cow_faults();
             let (dirty, restore_cycles) = inst.reset(&pool_opts);
             if let Some(input) = &req.input {
                 inst.vm.world.push_request(input);
@@ -561,7 +577,7 @@ impl Server {
                         index: ri,
                         outcome,
                     });
-                    return 1;
+                    return drain;
                 }
             }
             let mut m = RequestMetrics::from_stats_delta(&before, &inst.vm.stats);
@@ -576,7 +592,10 @@ impl Server {
                 .log
                 .extend_from_slice(&inst.vm.world.log[inst.log_baseline..]);
             peak_pages[si] = peak_pages[si].max(inst.vm.resident_private_pages());
-            m.cycles
+            ExecCost {
+                cycles: m.cycles,
+                cow_faults: inst.vm.cow_faults() - cow_before,
+            }
         });
 
         if let Some(e) = first_error {
@@ -617,6 +636,17 @@ impl Server {
             metrics.add_virtual_latency(c.latency_cycles);
         }
 
+        // Lift the scheduler's window series into the report: charge the
+        // run's verify-cache-hit delta to the first window (checkout and
+        // template build happen before any window opens), then run the
+        // burn-rate monitor over it — every breach excursion is counted
+        // and recorded as an `slo.breach.*` event.
+        let mut series = std::mem::take(&mut sched_result.series);
+        if let Some(w) = series.first_mut() {
+            w.verify_cache_hits = self.registry.cache_stats().hits - cache_hits_before;
+        }
+        let slo = confllvm_obs::SloMonitor::evaluate(confllvm_obs::SloRules::default(), &series);
+
         if span.active() {
             span.attr("sessions", sessions.len());
             span.attr("executed", sched_result.executed);
@@ -625,6 +655,8 @@ impl Server {
             span.attr("forked", !pool_opts.isolate_sessions);
             span.attr("template_pages", resident.template_pages);
             span.attr("total_parked_pages", resident.total_parked_pages);
+            span.attr("slo_fast_breaches", slo.fast_breaches);
+            span.attr("slo_slow_breaches", slo.slow_breaches);
             span.cycles(sched_result.makespan_cycles);
         }
         drop(span);
@@ -640,6 +672,8 @@ impl Server {
             windows: sched_result.windows,
             makespan_cycles: sched_result.makespan_cycles,
             resident,
+            series,
+            slo,
             host_micros: started.elapsed().as_micros(),
         })
     }
@@ -1216,6 +1250,21 @@ mod tests {
             r.metrics.virtual_percentile_milli(999) > r.metrics.percentile_milli(999),
             "queueing must push the end-to-end tail above pure service time"
         );
+        // The window series mirrors the run totals (nothing dropped at this
+        // size) and the burn-rate monitor sees the overload.
+        assert_eq!(r.series.dropped(), 0);
+        assert_eq!(r.series.len() as u64, r.windows);
+        let (w_shed, w_executed) = r
+            .series
+            .iter()
+            .fold((0u64, 0u64), |(s, e), w| (s + w.shed, e + w.executed));
+        assert_eq!(w_shed, r.metrics.shed);
+        assert_eq!(w_executed, r.executed);
+        assert!(
+            r.slo.fast_breaches >= 1,
+            "a shedding overload run must trip the fast burn rule: {:?}",
+            r.slo
+        );
         // Deterministic: the same plan yields the same schedule.
         let r2 = server
             .serve_scaled(binary, &sessions, &plan, &sched)
@@ -1223,6 +1272,7 @@ mod tests {
         assert_eq!(r.metrics.shed, r2.metrics.shed);
         assert_eq!(r.makespan_cycles, r2.makespan_cycles);
         assert_eq!(r.observable(), r2.observable());
+        assert_eq!(r.slo.total_breaches(), r2.slo.total_breaches());
     }
 
     #[test]

@@ -27,6 +27,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Mutex;
 
+use confllvm_obs::{WindowSeries, WindowStat};
+
 /// What to do with an arrival that finds the admission queue full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backpressure {
@@ -67,6 +69,28 @@ impl Default for SchedulerConfig {
             slo_cycles: 200_000,
             window_cycles: 50_000,
             defer_age_windows: u64::MAX,
+        }
+    }
+}
+
+/// What one executed request cost, as reported by the executor callback.
+/// Plain `u64` cycle costs convert (`cycles` only), so simple callers and
+/// tests can keep returning a number; the serving layer also reports the
+/// request's copy-on-write faults so the per-window telemetry can carry
+/// them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCost {
+    /// Simulated cycles occupying the worker (service + restore).
+    pub cycles: u64,
+    /// Copy-on-write faults the request took.
+    pub cow_faults: u64,
+}
+
+impl From<u64> for ExecCost {
+    fn from(cycles: u64) -> Self {
+        ExecCost {
+            cycles,
+            cow_faults: 0,
         }
     }
 }
@@ -146,6 +170,9 @@ pub struct SchedResult {
     pub completions: Vec<Completion>,
     /// Latest completion time in simulated cycles.
     pub makespan_cycles: u64,
+    /// Per-window telemetry: one [`WindowStat`] per admission window in a
+    /// bounded ring (long overload runs drop the oldest windows, counted).
+    pub series: WindowSeries,
 }
 
 impl SchedResult {
@@ -182,11 +209,20 @@ struct QueueItem {
 
 /// Run `plan` through the windowed, backpressured virtual-time loop.
 /// `execute(session, request)` must perform the request and return its
-/// simulated cost in cycles (service + restore — everything that occupies a
-/// worker).
-pub fn run_virtual<F>(cfg: &SchedulerConfig, plan: &ArrivalPlan, mut execute: F) -> SchedResult
+/// simulated cost (service + restore — everything that occupies a worker),
+/// either as plain cycles (`u64`) or as an [`ExecCost`] when it also has
+/// per-request CoW faults to report.
+///
+/// Besides the run totals, every admission window aggregates one
+/// [`WindowStat`] into `SchedResult::series`: arrivals, admissions,
+/// sheds/defers, queue depth, this window's p99/p99.9 completion latency,
+/// CoW faults, and the good/bad split (a request is *bad* if it was shed,
+/// aged out, or completed past `slo_cycles`) the SLO burn-rate monitor
+/// consumes.
+pub fn run_virtual<F, C>(cfg: &SchedulerConfig, plan: &ArrivalPlan, mut execute: F) -> SchedResult
 where
-    F: FnMut(usize, usize) -> u64,
+    F: FnMut(usize, usize) -> C,
+    C: Into<ExecCost>,
 {
     let rec = confllvm_obs::recorder();
     let window = cfg.window_cycles.max(1);
@@ -197,6 +233,9 @@ where
     // the aging bound.
     let mut deferred: VecDeque<(QueueItem, u64)> = VecDeque::new();
     let mut result = SchedResult::default();
+    // This window's completion latencies, for the per-window percentiles
+    // (cleared every window; the buffer is reused).
+    let mut window_lat: Vec<u64> = Vec::new();
 
     // Arrivals are admitted in plan order; the seq doubles as the EDF
     // tie-break.
@@ -208,6 +247,11 @@ where
 
     while next < plan.arrivals.len() || !deferred.is_empty() || !queue.is_empty() {
         let window_end = window_start + window;
+        let mut wstat = WindowStat {
+            index: result.windows,
+            start_cycle: window_start,
+            ..WindowStat::default()
+        };
 
         // Admit: deferred retries first (they arrived earliest), then new
         // arrivals landing inside this window.
@@ -215,14 +259,18 @@ where
         while let Some((item, defers)) = retries.pop_front() {
             if queue.len() < capacity {
                 queue.push(Reverse(item));
+                wstat.admitted += 1;
             } else if defers >= cfg.defer_age_windows {
                 // Aged out: sustained overload has deferred this arrival
                 // past the bound — shed it instead of retrying forever.
                 result.shed += 1;
                 result.defer_aged_shed += 1;
+                wstat.shed += 1;
+                wstat.bad += 1;
                 rec.count("server.defer_aged_shed", 1);
             } else {
                 result.deferred += 1;
+                wstat.deferred += 1;
                 deferred.push_back((item, defers + 1));
             }
         }
@@ -236,16 +284,21 @@ where
                 request: a.request,
             };
             next += 1;
+            wstat.arrivals += 1;
             if queue.len() < capacity {
                 queue.push(Reverse(item));
+                wstat.admitted += 1;
             } else {
                 match cfg.backpressure {
                     Backpressure::Shed => {
                         result.shed += 1;
+                        wstat.shed += 1;
+                        wstat.bad += 1;
                         rec.count("server.shed", 1);
                     }
                     Backpressure::Defer => {
                         result.deferred += 1;
+                        wstat.deferred += 1;
                         deferred.push_back((item, 1));
                     }
                 }
@@ -254,11 +307,13 @@ where
         result.windows += 1;
         let depth = queue.len() as u64;
         result.queue_depth_samples.push(depth);
+        wstat.queue_depth = depth;
         rec.record_hist("server.queue_depth", depth);
 
         // Dispatch: any worker whose clock is inside the window picks the
         // most urgent queued request; service may run past the window edge
         // (that worker just starts late next window).
+        window_lat.clear();
         while let Some((widx, &vclock)) = workers
             .iter()
             .enumerate()
@@ -269,17 +324,29 @@ where
                 break;
             };
             let start = vclock.max(item.vtime);
-            let cost = execute(item.session, item.request);
-            let done = start + cost;
+            let cost: ExecCost = execute(item.session, item.request).into();
+            let done = start + cost.cycles;
             workers[widx] = done;
             result.executed += 1;
             result.makespan_cycles = result.makespan_cycles.max(done);
+            let latency_cycles = done - item.vtime;
             result.completions.push(Completion {
                 session: item.session,
                 request: item.request,
-                latency_cycles: done - item.vtime,
+                latency_cycles,
             });
+            wstat.executed += 1;
+            wstat.cow_faults += cost.cow_faults;
+            window_lat.push(latency_cycles);
+            if latency_cycles <= cfg.slo_cycles {
+                wstat.good += 1;
+            } else {
+                wstat.bad += 1;
+            }
         }
+        wstat.p99_cycles = confllvm_obs::exact_percentile_milli(&window_lat, 990);
+        wstat.p999_cycles = confllvm_obs::exact_percentile_milli(&window_lat, 999);
+        result.series.push(wstat);
 
         window_start = window_end;
     }
@@ -356,7 +423,7 @@ mod tests {
             defer_age_windows: u64::MAX,
         };
         let p = plan(&[(0, 0, 0), (10, 1, 0), (250, 0, 1)]);
-        let r = run_virtual(&cfg, &p, |_, _| 40);
+        let r = run_virtual(&cfg, &p, |_, _| 40u64);
         assert_eq!(r.executed, 3);
         assert_eq!(r.shed, 0);
         // Two workers, two simultaneous-ish arrivals: both run immediately.
@@ -380,7 +447,7 @@ mod tests {
         // during the window, so admission sees the capacity bound only for
         // what piles up before dispatch: 2 admitted, 3 shed.
         let p = plan(&[(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3), (4, 0, 4)]);
-        let r = run_virtual(&cfg, &p, |_, _| 1000);
+        let r = run_virtual(&cfg, &p, |_, _| 1000u64);
         assert_eq!(r.executed + r.shed, 5);
         assert_eq!(r.shed, 3);
         assert_eq!(r.max_queue_depth(), 2);
@@ -397,7 +464,7 @@ mod tests {
             defer_age_windows: u64::MAX,
         };
         let p = plan(&[(0, 0, 0), (1, 0, 1), (2, 0, 2)]);
-        let r = run_virtual(&cfg, &p, |_, _| 50);
+        let r = run_virtual(&cfg, &p, |_, _| 50u64);
         assert_eq!(r.executed, 3, "defer never drops work");
         assert_eq!(r.shed, 0);
         assert!(
@@ -428,7 +495,7 @@ mod tests {
         // The single worker wedges on a 100k-cycle request, so the queue
         // stays full for ~1000 windows — far past the 2-deferral age bound.
         let p = plan(&[(0, 0, 0), (1, 0, 1), (2, 0, 2), (3, 0, 3)]);
-        let r = run_virtual(&cfg, &p, |_, _| 100_000);
+        let r = run_virtual(&cfg, &p, |_, _| 100_000u64);
         assert_eq!(r.executed + r.shed, 4, "no arrival may vanish");
         // Window 0 admits item 0; items 1-3 defer.  The queue drains once per
         // window, so window 1 re-admits item 1 while items 2 and 3 defer a
@@ -455,7 +522,7 @@ mod tests {
         // plan order: arrivals are admitted by plan order, dispatch must
         // re-order by deadline.
         let p = plan(&[(500, 1, 0), (100, 0, 0)]);
-        let r = run_virtual(&cfg, &p, |_, _| 7);
+        let r = run_virtual(&cfg, &p, |_, _| 7u64);
         assert_eq!(r.executed, 2);
         // Session 0 (deadline 110) must run before session 1 (deadline 510).
         assert_eq!(r.completions[0].session, 0);
@@ -494,7 +561,7 @@ mod tests {
         let r = run_virtual(
             &SchedulerConfig::default(),
             &ArrivalPlan::default(),
-            |_, _| 1,
+            |_, _| 1u64,
         );
         assert_eq!(r.executed, 0);
         assert_eq!(r.windows, 0);

@@ -202,26 +202,25 @@ impl SnapshotStore {
     }
 
     /// The template for `version`, building (and pinning the version) on
-    /// first use.  The build runs outside the store lock, so two workers
-    /// racing on a fresh version may both build; the loser's template is
-    /// discarded and only the winner's holds a pin.
+    /// first use.  The build holds the store lock so exactly one load +
+    /// setup probe runs per version: racing workers block briefly and reuse
+    /// the winner's template.  A duplicate probe would not be unsound, but
+    /// it would execute the setup entry a scheduling-dependent number of
+    /// times — which the deterministic sampling profiler would observe.
     pub fn template(
         &self,
         version: VersionId,
         service: &Arc<ServiceBinary>,
         vm_opts: VmOptions,
     ) -> Result<Arc<SessionTemplate>, SpawnError> {
-        if let Some(t) = self.lock().get(&version) {
-            return Ok(Arc::clone(t));
-        }
-        let built = Arc::new(SessionTemplate::build(
-            version,
-            Arc::clone(service),
-            vm_opts,
-        )?);
         match self.lock().entry(version) {
             std::collections::hash_map::Entry::Occupied(e) => Ok(Arc::clone(e.get())),
             std::collections::hash_map::Entry::Vacant(slot) => {
+                let built = Arc::new(SessionTemplate::build(
+                    version,
+                    Arc::clone(service),
+                    vm_opts,
+                )?);
                 self.registry.pin(version);
                 slot.insert(Arc::clone(&built));
                 Ok(built)

@@ -13,13 +13,151 @@ use confllvm_machine::{
 use crate::alloc::{AllocatorKind, Heap};
 use crate::cache::DataCache;
 use crate::cost::CostModel;
-use crate::loader::{load, Image, LoadError};
+use crate::loader::{load, Image, LoadError, NO_PROC};
 use crate::memory::{MemFault, MemSnapshot, Memory};
 use crate::translate::{
     Block, BlockTarget, Engine, Op, PostExtern, StaticAcc, Terminator, NO_INDEX,
 };
 use crate::trusted::{self, TrustedCtx, TrustedError};
 use crate::world::World;
+
+/// Shadow-stack depth bound for the sampling profiler: frames beyond it are
+/// counted, not stored, so deep recursion cannot grow sample keys without
+/// losing push/pop balance.
+const SAMPLE_STACK_CAP: usize = 64;
+
+/// One buffered raw profile sample (see [`Sampler`]); procedure indices are
+/// resolved to interned names only at flush time.
+struct RawSample {
+    /// Caller procedure indices, outermost first.
+    stack: Vec<u32>,
+    /// Procedure owning the sampled block.
+    leaf: u32,
+    block_word: u32,
+    /// Pending check site, or [`confllvm_obs::prof::NO_CHECK`].
+    check_word: u32,
+    loop_head: bool,
+}
+
+/// Per-run state of the deterministic sampling profiler (block engine
+/// only; the legacy engine stays the untouched differential oracle).  The
+/// sampling grid lives in **simulated cycles** — `next` advances by the
+/// profiler's interval from the VM's running cycle total, so a pooled
+/// instance samples one continuous virtual timeline across requests and two
+/// identical runs sample identically on any host.  Sampling reads simulated
+/// state and never writes it: profiled and unprofiled runs have
+/// byte-identical observables and cycle counts.
+struct Sampler {
+    interval: u64,
+    /// Next grid point in simulated cycles.
+    next: u64,
+    /// Best-effort shadow call stack of procedure indices, maintained on
+    /// block-terminator calls/returns (mid-block fall-back steps may skip
+    /// updates — deterministically; pops on an empty stack are ignored).
+    stack: Vec<u32>,
+    /// Call frames skipped because the stack hit [`SAMPLE_STACK_CAP`];
+    /// matching returns decrement this instead of popping a real frame.
+    over_cap: u64,
+    raw: Vec<RawSample>,
+    tid: u64,
+}
+
+impl Sampler {
+    fn call(&mut self, proc: u32) {
+        if self.stack.len() >= SAMPLE_STACK_CAP {
+            self.over_cap += 1;
+        } else {
+            self.stack.push(proc);
+        }
+    }
+
+    fn ret(&mut self) {
+        if self.over_cap > 0 {
+            self.over_cap -= 1;
+        } else {
+            self.stack.pop();
+        }
+    }
+
+    /// The block that just completed crossed the sampling grid: record one
+    /// raw sample per crossed point.  `vbefore`/`vnow` are the virtual
+    /// clock at the previous and this block boundary; a point inside the
+    /// block's static straight-line cycles is attributed to the instruction
+    /// it lands on (with the check site when that is a bound check), while
+    /// a point in the boundary gap (terminator charges, extern calls,
+    /// fall-back steps) attributes to the block leader.
+    #[cold]
+    fn sample_block(
+        &mut self,
+        image: &Image,
+        block: &Block,
+        cost: &CostModel,
+        vbefore: u64,
+        vnow: u64,
+        entry_muldiv: bool,
+    ) {
+        let start = block.start as usize;
+        let leaf = image.proc_of_inst.get(start).copied().unwrap_or(NO_PROC);
+        let block_word = image.word_of[start];
+        while self.next <= vnow {
+            let grid = self.next;
+            self.next += self.interval;
+            let mut check_word = confllvm_obs::prof::NO_CHECK;
+            if grid > vbefore {
+                // Walk the straight line's static costs to the crossing
+                // instruction — the same per-instruction sums translation
+                // pre-summed into the block totals.
+                let off = grid - vbefore;
+                let mut acc = StaticAcc::default();
+                let mut md = entry_muldiv;
+                for k in 0..block.ops.len() {
+                    let inst = &image.insts[start + k];
+                    md = crate::translate::accumulate_static(inst, cost, md, &mut acc);
+                    if acc.cycles >= off {
+                        if matches!(inst, MInst::BndCheck { .. }) {
+                            check_word = image.word_of[start + k];
+                        }
+                        break;
+                    }
+                }
+            }
+            self.raw.push(RawSample {
+                stack: self.stack.clone(),
+                leaf,
+                block_word,
+                check_word,
+                loop_head: block.loop_head,
+            });
+        }
+    }
+
+    /// Resolve procedure indices to interned names and hand the batch to
+    /// the process profiler — one lock per thread run.
+    fn flush(self, image: &Image) {
+        if self.raw.is_empty() {
+            return;
+        }
+        let names = image.proc_names();
+        let name_of =
+            |p: u32| -> &'static str { names.get(p as usize).copied().unwrap_or("[runtime]") };
+        let tid = self.tid;
+        confllvm_obs::prof::profiler().record_batch(self.raw.into_iter().map(|r| {
+            let mut stack: Vec<&'static str> = Vec::with_capacity(r.stack.len() + 1);
+            stack.extend(r.stack.iter().map(|&p| name_of(p)));
+            stack.push(name_of(r.leaf));
+            (
+                confllvm_obs::prof::SampleKey {
+                    tid,
+                    stack,
+                    block_word: r.block_word,
+                    check_word: r.check_word,
+                    loop_head: r.loop_head,
+                },
+                1,
+            )
+        }));
+    }
+}
 
 /// VM configuration.
 #[derive(Debug, Clone)]
@@ -38,6 +176,16 @@ pub struct VmOptions {
     /// for differential testing.  Both are bit-exact in statistics, faults
     /// and observables.
     pub engine: Engine,
+    /// Collect deterministic sampling-profiler frames for this VM's runs
+    /// (block engine only) into the process-wide
+    /// [`profiler`](confllvm_obs::prof::profiler), regardless of its global
+    /// enable flag.  Per-VM opt-in keeps concurrently running unprofiled
+    /// VMs (e.g. parallel tests) out of a byte-exact profile; the global
+    /// flag additionally samples *every* VM, which is what
+    /// `repro --profile-folded` uses.  Either way sampling never writes
+    /// simulated state: profiled and unprofiled runs are byte-identical in
+    /// statistics and observables.
+    pub profile: bool,
 }
 
 impl Default for VmOptions {
@@ -49,6 +197,7 @@ impl Default for VmOptions {
             cost: CostModel::default(),
             cache_model: true,
             engine: Engine::Block,
+            profile: false,
         }
     }
 }
@@ -782,7 +931,12 @@ impl Vm {
     /// entry, a block that might exhaust fuel — falls back to
     /// [`Vm::step_inst`], so statistics, faults and observables are
     /// bit-identical to [`Engine::Legacy`].
-    fn exec_block_loop(&mut self, t: &mut ThreadState) -> Outcome {
+    ///
+    /// The loop is monomorphised on `PROFILE` (see [`Vm::exec_block_loop`]):
+    /// the `false` instantiation contains no sampler code at all, so an
+    /// unprofiled run pays nothing — not even a dead branch per block — for
+    /// the profiler's existence.
+    fn exec_block_loop_impl<const PROFILE: bool>(&mut self, t: &mut ThreadState) -> Outcome {
         let image = Arc::clone(&self.image);
         let Some(bc) = image.block_cache(self.opts.cost) else {
             // The shared translation was built under a different cost model;
@@ -816,6 +970,22 @@ impl Vm {
         // chains block to block without consulting `leader_block`; `NO_INDEX`
         // means "unknown — look it up" (indirect transfers, fall-back exits).
         let mut hint: u32 = NO_INDEX;
+        // Deterministic sampling profiler.  The grid continues from the
+        // VM's running cycle total so pooled per-request runs sample one
+        // continuous virtual timeline.
+        let mut sampler = if PROFILE {
+            let interval = confllvm_obs::prof::profiler().interval();
+            Some(Sampler {
+                interval,
+                next: (self.stats.cycles / interval + 1) * interval,
+                stack: Vec::new(),
+                over_cap: 0,
+                raw: Vec::new(),
+                tid: t.tid as u64,
+            })
+        } else {
+            None
+        };
         let outcome = 'dispatch: loop {
             let bi = if hint != NO_INDEX {
                 std::mem::replace(&mut hint, NO_INDEX)
@@ -841,6 +1011,12 @@ impl Vm {
                 }
             }
             // --- straight-line run: live semantics, pre-summed accounting --
+            let entry_muldiv = prev_was_muldiv;
+            let vbefore = if PROFILE {
+                self.stats.cycles + acc_cycles + acc_cache_misses * cost.cache_miss
+            } else {
+                0
+            };
             if let Err((k, fault)) =
                 self.exec_block_ops(&image, t, block, &mut acc_cache_hits, &mut acc_cache_misses)
             {
@@ -866,6 +1042,14 @@ impl Vm {
             acc_bound_checks += block.bound_checks;
             acc_cfi_checks += block.cfi_checks;
             prev_was_muldiv = block.ends_muldiv;
+            if PROFILE {
+                if let Some(s) = sampler.as_mut() {
+                    let vnow = self.stats.cycles + acc_cycles + acc_cache_misses * cost.cache_miss;
+                    if s.next <= vnow {
+                        s.sample_block(&image, block, &cost, vbefore, vnow, entry_muldiv);
+                    }
+                }
+            }
             // --- terminator ------------------------------------------------
             if let Terminator::FallThrough { next, next_block } = &block.term {
                 // Not a step: the next leader continues the straight line,
@@ -935,6 +1119,11 @@ impl Vm {
                     if let Err(e) = self.push_word(t, *ret_word) {
                         break 'dispatch Outcome::Fault(e);
                     }
+                    if PROFILE {
+                        if let Some(s) = sampler.as_mut() {
+                            s.call(image.proc_of_inst[block.start as usize]);
+                        }
+                    }
                     match target {
                         BlockTarget::Inst { inst, block } => {
                             t.pc = *inst as usize;
@@ -950,6 +1139,11 @@ impl Vm {
                     let word = t.regs[*reg as usize];
                     if let Err(e) = self.push_word(t, *ret_word) {
                         break 'dispatch Outcome::Fault(e);
+                    }
+                    if PROFILE {
+                        if let Some(s) = sampler.as_mut() {
+                            s.call(image.proc_of_inst[block.start as usize]);
+                        }
                     }
                     match bc.inst_at_word(word) {
                         Some(i) => {
@@ -967,6 +1161,11 @@ impl Vm {
                 }
                 Terminator::Ret => {
                     acc_cycles += cost.ret;
+                    if PROFILE {
+                        if let Some(s) = sampler.as_mut() {
+                            s.ret();
+                        }
+                    }
                     let rsp = t.regs[Reg::Rsp.index()];
                     let word = match self.memory.read8(rsp) {
                         Ok(v) => v,
@@ -1034,7 +1233,23 @@ impl Vm {
             rec.count("vm.blockcache.hits", lookup_hits);
             rec.count("vm.blockcache.misses", lookup_misses);
         }
+        if PROFILE {
+            if let Some(s) = sampler {
+                s.flush(&image);
+            }
+        }
         outcome
+    }
+
+    /// Dispatch to the profiled or unprofiled instantiation of
+    /// [`Vm::exec_block_loop_impl`] — one relaxed load per run; the
+    /// unprofiled loop is byte-for-byte the pre-profiler codegen.
+    fn exec_block_loop(&mut self, t: &mut ThreadState) -> Outcome {
+        if self.opts.profile || confllvm_obs::prof::profiler().enabled() {
+            self.exec_block_loop_impl::<true>(t)
+        } else {
+            self.exec_block_loop_impl::<false>(t)
+        }
     }
 
     /// Execute a block's predecoded straight-line ops with live semantics but
@@ -1042,7 +1257,11 @@ impl Vm {
     /// are applied in exact program order, so the simulated data cache ends in
     /// the same state as under the legacy engine.  On a fault, returns the op
     /// offset so the caller can re-sum the executed prefix per instruction.
-    #[inline]
+    ///
+    /// `inline(always)`: the dispatch loop is monomorphised twice (profiled
+    /// and unprofiled), and the inliner's cost model would otherwise outline
+    /// this into a shared call — a measurable hit on the straight-line path.
+    #[inline(always)]
     #[allow(clippy::too_many_arguments)]
     fn exec_block_ops(
         &mut self,

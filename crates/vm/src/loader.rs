@@ -12,6 +12,10 @@ use crate::cost::CostModel;
 use crate::memory::Memory;
 use crate::translate::{translate, BlockCache};
 
+/// `Image::proc_of_inst` entry for instructions no function owns (the
+/// loader's exit thunks); the profiler renders them as `[runtime]`.
+pub const NO_PROC: u32 = u32::MAX;
+
 /// A loading failure.
 #[derive(Debug, Clone)]
 pub struct LoadError {
@@ -59,6 +63,14 @@ pub struct Image {
     pub externs: Vec<confllvm_machine::ExternSpec>,
     pub functions: Vec<confllvm_machine::FuncSym>,
     pub entry_function: usize,
+    /// Index into `functions` of the procedure owning each instruction
+    /// ([`NO_PROC`] for the appended exit thunks) — the sampling profiler's
+    /// frame attribution.
+    pub proc_of_inst: Vec<u32>,
+    /// Interned `&'static` copies of the function names, built on first
+    /// profiled run: profile frames carry program symbols, never runtime
+    /// `World` bytes.
+    proc_names: OnceLock<Vec<&'static str>>,
     /// Basic-block translation of `insts`, built lazily on first block-engine
     /// run and then shared — the image sits behind an `Arc`, so every
     /// CoW-forked session dispatches over the same translation.
@@ -101,6 +113,17 @@ impl Image {
             Arc::new(cache)
         });
         (cache.cost == cost).then(|| Arc::clone(cache))
+    }
+
+    /// Function index → interned `&'static` name, index-aligned with
+    /// `functions` — the only strings a profile frame may carry.
+    pub fn proc_names(&self) -> &[&'static str] {
+        self.proc_names.get_or_init(|| {
+            self.functions
+                .iter()
+                .map(|f| confllvm_obs::prof::intern(&f.name))
+                .collect()
+        })
     }
 }
 
@@ -151,6 +174,33 @@ pub fn load(program: &Program, allocator: AllocatorKind) -> Result<Loaded, LoadE
         code_words.extend(confllvm_machine::encode_inst(inst));
         w += encoded_len(inst);
     }
+
+    // --- procedure map ------------------------------------------------------
+    // Who owns each instruction, for the profiler: functions sorted by entry
+    // word own everything up to the next entry; the appended exit thunks
+    // belong to no function.
+    let user_insts = program.insts.len();
+    let mut entries: Vec<(u32, u32)> = program
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.entry_word, i as u32))
+        .collect();
+    entries.sort_unstable();
+    let proc_of_inst: Vec<u32> = word_of
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            if i >= user_insts {
+                return NO_PROC;
+            }
+            match entries.binary_search_by_key(w, |e| e.0) {
+                Ok(k) => entries[k].1,
+                Err(0) => NO_PROC,
+                Err(k) => entries[k - 1].1,
+            }
+        })
+        .collect();
 
     // --- memory --------------------------------------------------------------
     let mut memory = Memory::new();
@@ -221,6 +271,8 @@ pub fn load(program: &Program, allocator: AllocatorKind) -> Result<Loaded, LoadE
         externs: program.externs.clone(),
         functions: program.functions.clone(),
         entry_function: program.entry_function,
+        proc_of_inst,
+        proc_names: OnceLock::new(),
         block_cache: OnceLock::new(),
     };
     Ok(Loaded {

@@ -292,6 +292,10 @@ pub(crate) struct Block {
     /// The last straight-line instruction is a mul/div — carried across a
     /// fall-through edge for the next block's dual-issue adjustment.
     pub ends_muldiv: bool,
+    /// The leader is the target of a backward static jump — a loop head.
+    /// The sampling profiler uses this to flag a pending bound check here
+    /// as a loop-invariant-hoisting candidate.
+    pub loop_head: bool,
     pub term: Terminator,
 }
 
@@ -781,6 +785,7 @@ pub(crate) fn translate(image: &Image, cost: CostModel) -> BlockCache {
             cfi_checks: acc.cfi_checks,
             first_is_bndcheck: matches!(straight.first(), Some(MInst::BndCheck { .. })),
             ends_muldiv: prev_md,
+            loop_head: false,
             ops,
             term: terminator,
         });
@@ -826,6 +831,33 @@ pub(crate) fn translate(image: &Image, cost: CostModel) -> BlockCache {
                 *block = lb(*inst, &leader_block);
             }
             _ => {}
+        }
+    }
+
+    // --- loop heads ---------------------------------------------------------
+    // A block whose leader is the target of a backward static jump (`Jmp` or
+    // a `Jcc` taken edge pointing at or before the jumping block's own
+    // leader) is a loop head.  Calls are excluded: a backward call is
+    // recursion, not a loop back-edge.
+    let mut back_targets: Vec<u32> = Vec::new();
+    for b in &blocks {
+        let mut mark = |t: &BlockTarget| {
+            if let BlockTarget::Inst { inst, .. } = t {
+                if *inst <= b.start {
+                    back_targets.push(*inst);
+                }
+            }
+        };
+        match &b.term {
+            Terminator::Jmp { target } => mark(target),
+            Terminator::Jcc { taken, .. } => mark(taken),
+            _ => {}
+        }
+    }
+    for inst in back_targets {
+        let bi = lb(inst, &leader_block);
+        if bi != NO_INDEX {
+            blocks[bi as usize].loop_head = true;
         }
     }
 

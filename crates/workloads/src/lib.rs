@@ -69,12 +69,28 @@ pub fn run_workload_opts(
     world: World,
     args: &[i64],
 ) -> WorkloadRun {
+    run_workload_opts_profiled(source, opts, world, args, false)
+}
+
+/// Like [`run_workload_opts`] with per-VM sampling-profiler collection
+/// switchable — the `profile` benchmark section opts its runs in so
+/// concurrently running unprofiled VMs cannot pollute a byte-exact
+/// profile.  Sampling never writes simulated state, so the returned run is
+/// identical either way.
+pub fn run_workload_opts_profiled(
+    source: &str,
+    opts: &CompileOptions,
+    world: World,
+    args: &[i64],
+    profile: bool,
+) -> WorkloadRun {
     let config = opts.config;
     let entry = opts.entry.as_str();
     let compiled = compile(source, opts)
         .unwrap_or_else(|e| panic!("workload failed to compile under {config}: {e}"));
     let vm_opts = VmOptions {
         allocator: config.allocator(),
+        profile,
         ..Default::default()
     };
     let mut vm = Vm::new(&compiled.program, vm_opts, world).expect("load");

@@ -80,13 +80,24 @@ pub fn run(kernel: &SpecKernel, config: Config) -> WorkloadRun {
 /// Run one kernel under a configuration with an explicit machine-pass
 /// pipeline (the pass-manager ablation).
 pub fn run_with_passes(kernel: &SpecKernel, config: Config, machine_passes: &str) -> WorkloadRun {
+    run_with_passes_profiled(kernel, config, machine_passes, false)
+}
+
+/// [`run_with_passes`] with the VM's sampling-profiler collection opted in
+/// — the `profile` benchmark section's differential runs.
+pub fn run_with_passes_profiled(
+    kernel: &SpecKernel,
+    config: Config,
+    machine_passes: &str,
+    profile: bool,
+) -> WorkloadRun {
     let opts = confllvm_core::CompileOptions {
         config,
         entry: "run".to_string(),
         machine_passes: Some(machine_passes.to_string()),
         ..Default::default()
     };
-    crate::run_workload_opts(kernel.source, &opts, World::new(), &[kernel.size])
+    crate::run_workload_opts_profiled(kernel.source, &opts, World::new(), &[kernel.size], profile)
 }
 
 /// bzip2: run-length + move-to-front style byte shuffling over a buffer.
